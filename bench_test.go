@@ -1,0 +1,245 @@
+// bench_test.go contains the testing.B twin of every table and figure in the
+// paper's evaluation (Section 7). Each benchmark exercises the same code
+// paths as the corresponding cmd/dbscanbench experiment, at a size small
+// enough for `go test -bench=.`. The full sweeps (all datasets, parameter
+// grids, thread counts) live in cmd/dbscanbench.
+package pdbscan
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"pdbscan/internal/baseline"
+	"pdbscan/internal/dataset"
+	"pdbscan/internal/geom"
+	"pdbscan/internal/hashtable"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+)
+
+const benchN = 20000
+
+func benchPoints(name string, n int) geom.Points {
+	pts, err := dataset.Generate(name, n, 1)
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+func runMethod(b *testing.B, pts geom.Points, cfg Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ClusterFlat(pts.Data, pts.D, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 1: parallel primitives -----------------------------------------
+
+func BenchmarkTable1PrefixSum(b *testing.B) {
+	a := make([]int64, 1<<20)
+	out := make([]int64, len(a))
+	for i := range a {
+		a[i] = int64(i % 7)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prim.PrefixSum(a, out)
+	}
+}
+
+func BenchmarkTable1Filter(b *testing.B) {
+	a := make([]int64, 1<<20)
+	for i := range a {
+		a[i] = int64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prim.Filter(a, func(x int64) bool { return x%3 == 0 })
+	}
+}
+
+func BenchmarkTable1ComparisonSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]int64, 1<<19)
+	for i := range src {
+		src[i] = rng.Int63()
+	}
+	buf := make([]int64, len(src))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		prim.Sort(buf, func(x, y int64) bool { return x < y })
+	}
+}
+
+func BenchmarkTable1IntegerSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]uint64, 1<<19)
+	for i := range src {
+		src[i] = uint64(rng.Intn(1 << 16))
+	}
+	keys := make([]uint64, len(src))
+	vals := make([]int32, len(src))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(keys, src)
+		prim.RadixSortPairs(keys, vals, 16)
+	}
+}
+
+func BenchmarkTable1Semisort(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 1<<19)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1 << 12))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prim.Semisort(keys)
+	}
+}
+
+func BenchmarkTable1Merge(b *testing.B) {
+	n := 1 << 19
+	x := make([]int64, n)
+	y := make([]int64, n)
+	for i := 0; i < n; i++ {
+		x[i] = int64(2 * i)
+		y[i] = int64(2*i + 1)
+	}
+	out := make([]int64, 2*n)
+	less := func(p, q int64) bool { return p < q }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prim.Merge(x, y, out, less)
+	}
+}
+
+func BenchmarkTable1HashTable(b *testing.B) {
+	n := 1 << 18
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := hashtable.NewU64(n)
+		parallel.For(n, func(k int) {
+			tb.Insert(uint64(k)*0x9e3779b97f4a7c15+1, int32(k))
+		})
+		parallel.For(n, func(k int) {
+			tb.Lookup(uint64(k)*0x9e3779b97f4a7c15 + 1)
+		})
+	}
+}
+
+// --- Figure 6: time vs eps (d >= 3) ----------------------------------------
+
+func BenchmarkFig6TimeVsEps(b *testing.B) {
+	pts := benchPoints("ss-simden-3d", benchN)
+	for _, eps := range []float64{500, 1000, 2000} {
+		for _, m := range []Method{MethodExact, MethodExactQt} {
+			b.Run(fmt.Sprintf("%s/eps=%g", m, eps), func(b *testing.B) {
+				runMethod(b, pts, Config{Eps: eps, MinPts: 10, Method: m})
+			})
+		}
+		b.Run(fmt.Sprintf("hpdbscan/eps=%g", eps), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				baseline.HPDBSCAN(pts, eps, 10)
+			}
+		})
+	}
+}
+
+// --- Figure 7: time vs minPts ----------------------------------------------
+
+func BenchmarkFig7TimeVsMinPts(b *testing.B) {
+	pts := benchPoints("ss-simden-3d", benchN)
+	for _, minPts := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("our-exact/minPts=%d", minPts), func(b *testing.B) {
+			runMethod(b, pts, Config{Eps: 1000, MinPts: minPts, Method: MethodExact})
+		})
+	}
+}
+
+// --- Figure 8: speedup over best serial vs threads --------------------------
+
+func BenchmarkFig8Scaling(b *testing.B) {
+	pts := benchPoints("ss-varden-3d", benchN)
+	for _, w := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("our-exact/workers=%d", w), func(b *testing.B) {
+			runMethod(b, pts, Config{Eps: 2000, MinPts: 100, Method: MethodExact, Workers: w})
+		})
+	}
+	b.Run("seq-dbscan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			baseline.Sequential(pts, 2000, 100)
+		}
+	})
+}
+
+// --- Figure 9: self-relative speedup ----------------------------------------
+
+func BenchmarkFig9SelfRelative(b *testing.B) {
+	pts := benchPoints("ss-varden-3d", benchN)
+	for _, w := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("our-approx/workers=%d", w), func(b *testing.B) {
+			runMethod(b, pts, Config{Eps: 2000, MinPts: 100, Method: MethodApprox, Rho: 0.01, Workers: w})
+		})
+	}
+}
+
+// --- Figure 10: time vs rho --------------------------------------------------
+
+func BenchmarkFig10TimeVsRho(b *testing.B) {
+	pts := benchPoints("ss-simden-5d", benchN)
+	for _, rho := range []float64{0.001, 0.01, 0.1} {
+		b.Run(fmt.Sprintf("our-approx/rho=%g", rho), func(b *testing.B) {
+			runMethod(b, pts, Config{Eps: 1000, MinPts: 100, Method: MethodApprox, Rho: rho})
+		})
+	}
+	b.Run("our-best-exact", func(b *testing.B) {
+		runMethod(b, pts, Config{Eps: 1000, MinPts: 100, Method: MethodExact})
+	})
+}
+
+// --- Figure 11: the 2D variants ----------------------------------------------
+
+func BenchmarkFig11Variants2D(b *testing.B) {
+	pts := benchPoints("ss-simden-2d", benchN)
+	for _, m := range []Method{
+		Method2DGridBCP, Method2DGridUSEC, Method2DGridDelaunay,
+		Method2DBoxBCP, Method2DBoxUSEC, Method2DBoxDelaunay,
+	} {
+		b.Run(string(m), func(b *testing.B) {
+			runMethod(b, pts, Config{Eps: 200, MinPts: 100, Method: m})
+		})
+	}
+}
+
+// --- Table 2: large-scale regime vs partition/merge comparator ---------------
+
+func BenchmarkTable2LargeScale(b *testing.B) {
+	for _, ds := range []struct {
+		name string
+		eps  float64
+	}{
+		{"geolife", 40},
+		{"teraclick", 3000},
+	} {
+		pts := benchPoints(ds.name, benchN)
+		b.Run(ds.name+"/our-exact", func(b *testing.B) {
+			runMethod(b, pts, Config{Eps: ds.eps, MinPts: 100, Method: MethodExact})
+		})
+		b.Run(ds.name+"/rpdbscan-sim", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				baseline.RPDBSCANSim(pts, ds.eps, 100, 8)
+			}
+		})
+	}
+}

@@ -1,0 +1,409 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pdbscan/internal/baseline"
+	"pdbscan/internal/dataset"
+	"pdbscan/internal/geom"
+)
+
+// dsConfig is a dataset plus its default parameters (scaled analogues of the
+// per-dataset defaults in the paper's figure captions).
+type dsConfig struct {
+	name   string
+	eps    float64   // default eps (the "correct clustering" point)
+	minPts int       // default minPts
+	sweep  []float64 // eps sweep for Figures 6; default eps included
+}
+
+// figure6Datasets mirrors the 11 panels of Figures 6-8 (d >= 3).
+func figure6Datasets() []dsConfig {
+	mk := func(name string, eps float64, minPts int) dsConfig {
+		return dsConfig{
+			name: name, eps: eps, minPts: minPts,
+			sweep: []float64{eps / 4, eps / 2, eps, eps * 2, eps * 4},
+		}
+	}
+	return []dsConfig{
+		mk("ss-simden-3d", 1000, 10),
+		mk("ss-varden-3d", 2000, 100),
+		mk("uniform-3d", 100, 10),
+		mk("ss-simden-5d", 1000, 100),
+		mk("ss-varden-5d", 3000, 10),
+		mk("uniform-5d", 100, 100),
+		mk("ss-simden-7d", 2000, 10),
+		mk("ss-varden-7d", 3000, 10),
+		mk("uniform-7d", 200, 10),
+		mk("geolife", 40, 100),
+		mk("household", 2000, 100),
+	}
+}
+
+// quickSubset is the default (non -full) dataset list for the heavier
+// experiments.
+func quickSubset(all []dsConfig) []dsConfig {
+	keep := map[string]bool{
+		"ss-simden-3d": true, "ss-varden-3d": true,
+		"ss-varden-5d": true, "geolife": true,
+	}
+	var out []dsConfig
+	for _, c := range all {
+		if keep[c.name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func loadDataset(name string, n int, seed int64) geom.Points {
+	pts, err := dataset.Generate(name, n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+// expFig6 regenerates Figure 6: running time vs eps for every d>=3 dataset.
+// The paper's shape: our methods flat-or-improving in eps; the pointwise
+// baselines degrade sharply (they are only run up to the default eps here,
+// mirroring the paper's one-hour timeout cutoff).
+func expFig6(o options) {
+	datasets := figure6Datasets()
+	if !o.full {
+		datasets = quickSubset(datasets)
+	}
+	for _, ds := range datasets {
+		pts := loadDataset(ds.name, o.n, o.seed)
+		t := newTable(
+			fmt.Sprintf("Figure 6: time vs eps — %s n=%d minPts=%d", ds.name, o.n, ds.minPts),
+			append([]string{"variant"}, epsHeaders(ds.sweep)...)...)
+		variants := append(ourVariants(), baselineVariants()...)
+		for _, v := range variants {
+			cells := []string{v.name}
+			for _, eps := range ds.sweep {
+				if (v.name == "hpdbscan" || v.name == "pdsdbscan") && eps > ds.eps*1.01 {
+					cells = append(cells, "(skip)") // the paper's >1h regime
+					continue
+				}
+				rho := 0.01
+				dur, k := timeVariant(v, pts, eps, ds.minPts, rho, o.threads)
+				cells = append(cells, fmt.Sprintf("%s k=%d", fmtDur(dur), k))
+			}
+			t.add(cells...)
+		}
+		t.print()
+	}
+}
+
+func epsHeaders(sweep []float64) []string {
+	out := make([]string, len(sweep))
+	for i, e := range sweep {
+		out[i] = fmt.Sprintf("eps=%g", e)
+	}
+	return out
+}
+
+// expFig7 regenerates Figure 7: running time vs minPts. Shape: our methods
+// degrade roughly linearly in minPts (O(n*minPts) MarkCore); the baselines
+// are mostly flat.
+func expFig7(o options) {
+	datasets := figure6Datasets()
+	if !o.full {
+		datasets = quickSubset(datasets)
+	}
+	minPtsSweep := []int{10, 100, 1000, 10000}
+	for _, ds := range datasets {
+		pts := loadDataset(ds.name, o.n, o.seed)
+		headers := []string{"variant"}
+		for _, m := range minPtsSweep {
+			headers = append(headers, fmt.Sprintf("minPts=%d", m))
+		}
+		t := newTable(
+			fmt.Sprintf("Figure 7: time vs minPts — %s n=%d eps=%g", ds.name, o.n, ds.eps),
+			headers...)
+		variants := append(ourVariants(), baselineVariants()...)
+		for _, v := range variants {
+			cells := []string{v.name}
+			for _, m := range minPtsSweep {
+				dur, k := timeVariant(v, pts, ds.eps, m, 0.01, o.threads)
+				cells = append(cells, fmt.Sprintf("%s k=%d", fmtDur(dur), k))
+			}
+			t.add(cells...)
+		}
+		t.print()
+	}
+}
+
+// expFig8 regenerates Figure 8: speedup over the best sequential time vs
+// thread count. The best sequential time is the fastest single-threaded run
+// across all our variants and the sequential baseline (the paper's
+// definition: speedup over the best serial baseline).
+func expFig8(o options) {
+	datasets := figure6Datasets()
+	if !o.full {
+		datasets = quickSubset(datasets)
+	}
+	threads := threadSweep()
+	for _, ds := range datasets {
+		pts := loadDataset(ds.name, o.n, o.seed)
+		// Best serial time.
+		bestSerial := time.Duration(0)
+		bestName := ""
+		serialCandidates := append(ourVariants(), seqVariant())
+		for _, v := range serialCandidates {
+			dur, _ := timeVariant(v, pts, ds.eps, ds.minPts, 0.01, 1)
+			if bestName == "" || dur < bestSerial {
+				bestSerial, bestName = dur, v.name
+			}
+		}
+		headers := []string{"variant"}
+		for _, th := range threads {
+			headers = append(headers, fmt.Sprintf("p=%d", th))
+		}
+		t := newTable(
+			fmt.Sprintf("Figure 8: speedup over best serial (%s, %s) — %s n=%d eps=%g minPts=%d",
+				bestName, fmtDur(bestSerial), ds.name, o.n, ds.eps, ds.minPts),
+			headers...)
+		variants := append(ourVariants(), baselineVariants()...)
+		for _, v := range variants {
+			cells := []string{v.name}
+			for _, th := range threads {
+				dur, _ := timeVariant(v, pts, ds.eps, ds.minPts, 0.01, th)
+				cells = append(cells, fmtSpeedup(bestSerial, dur))
+			}
+			t.add(cells...)
+		}
+		t.print()
+	}
+}
+
+// expFig9 regenerates Figure 9: self-relative speedup vs thread count on
+// 3D-SS-varden. Shape: near-linear scaling for our methods.
+func expFig9(o options) {
+	ds := dsConfig{name: "ss-varden-3d", eps: 2000, minPts: 100}
+	pts := loadDataset(ds.name, o.n, o.seed)
+	threads := threadSweep()
+	headers := []string{"variant"}
+	for _, th := range threads {
+		headers = append(headers, fmt.Sprintf("p=%d", th))
+	}
+	t := newTable(
+		fmt.Sprintf("Figure 9: self-relative speedup — %s n=%d eps=%g minPts=%d",
+			ds.name, o.n, ds.eps, ds.minPts),
+		headers...)
+	variants := append(ourVariants(), baselineVariants()...)
+	for _, v := range variants {
+		var t1 time.Duration
+		cells := []string{v.name}
+		for i, th := range threads {
+			dur, _ := timeVariant(v, pts, ds.eps, ds.minPts, 0.01, th)
+			if i == 0 {
+				t1 = dur
+			}
+			cells = append(cells, fmtSpeedup(t1, dur))
+		}
+		t.add(cells...)
+	}
+	t.print()
+}
+
+// expFig10 regenerates Figure 10: running time vs rho for the approximate
+// methods, with the best exact method as the reference line. Shape: mild
+// decrease with rho; best exact remains competitive (often faster).
+func expFig10(o options) {
+	for _, ds := range []dsConfig{
+		{name: "ss-simden-5d", eps: 1000, minPts: 100},
+		{name: "ss-varden-5d", eps: 3000, minPts: 10},
+	} {
+		pts := loadDataset(ds.name, o.n, o.seed)
+		rhos := []float64{0.001, 0.003, 0.01, 0.03, 0.1}
+		headers := []string{"variant"}
+		for _, r := range rhos {
+			headers = append(headers, fmt.Sprintf("rho=%g", r))
+		}
+		t := newTable(
+			fmt.Sprintf("Figure 10: time vs rho — %s n=%d eps=%g minPts=%d",
+				ds.name, o.n, ds.eps, ds.minPts),
+			headers...)
+		for _, v := range []variant{
+			methodVariant("our-approx-qt", "approx-qt", false),
+			methodVariant("our-approx", "approx", false),
+		} {
+			cells := []string{v.name}
+			for _, r := range rhos {
+				dur, k := timeVariant(v, pts, ds.eps, ds.minPts, r, o.threads)
+				cells = append(cells, fmt.Sprintf("%s k=%d", fmtDur(dur), k))
+			}
+			t.add(cells...)
+		}
+		// Best-exact reference.
+		best := variant{}
+		bestDur := time.Duration(0)
+		for _, v := range ourVariants()[:4] {
+			dur, _ := timeVariant(v, pts, ds.eps, ds.minPts, 0, o.threads)
+			if best.name == "" || dur < bestDur {
+				best, bestDur = v, dur
+			}
+		}
+		ref := []string{"our-best-exact (" + best.name + ")"}
+		for range rhos {
+			ref = append(ref, fmtDur(bestDur))
+		}
+		t.add(ref...)
+		t.print()
+	}
+}
+
+// expFig11 regenerates Figure 11: the six 2D variants (grid/box x
+// bcp/usec/delaunay) plus baselines, vs eps, minPts, n, and threads.
+// Shape: grid beats box; delaunay slowest; grid-bcp fastest overall.
+func expFig11(o options) {
+	for _, ds := range []dsConfig{
+		{name: "ss-simden-2d", eps: 400, minPts: 100,
+			sweep: []float64{100, 200, 400, 1000, 3000}},
+		{name: "ss-varden-2d", eps: 1000, minPts: 100,
+			sweep: []float64{100, 300, 1000, 2000, 3000}},
+	} {
+		pts := loadDataset(ds.name, o.n, o.seed)
+		variants := append(twoDVariants(), baselineVariants()...)
+
+		// (a/e) time vs eps.
+		t := newTable(
+			fmt.Sprintf("Figure 11(a/e): time vs eps — %s n=%d minPts=%d", ds.name, o.n, ds.minPts),
+			append([]string{"variant"}, epsHeaders(ds.sweep)...)...)
+		for _, v := range variants {
+			cells := []string{v.name}
+			for _, eps := range ds.sweep {
+				if (v.name == "hpdbscan" || v.name == "pdsdbscan") && eps > ds.eps*1.01 {
+					cells = append(cells, "(skip)")
+					continue
+				}
+				dur, k := timeVariant(v, pts, eps, ds.minPts, 0, o.threads)
+				cells = append(cells, fmt.Sprintf("%s k=%d", fmtDur(dur), k))
+			}
+			t.add(cells...)
+		}
+		t.print()
+
+		// (b/f) time vs minPts.
+		minSweep := []int{10, 100, 1000, 10000}
+		headers := []string{"variant"}
+		for _, m := range minSweep {
+			headers = append(headers, fmt.Sprintf("minPts=%d", m))
+		}
+		t = newTable(
+			fmt.Sprintf("Figure 11(b/f): time vs minPts — %s n=%d eps=%g", ds.name, o.n, ds.eps),
+			headers...)
+		for _, v := range variants {
+			cells := []string{v.name}
+			for _, m := range minSweep {
+				dur, k := timeVariant(v, pts, ds.eps, m, 0, o.threads)
+				cells = append(cells, fmt.Sprintf("%s k=%d", fmtDur(dur), k))
+			}
+			t.add(cells...)
+		}
+		t.print()
+
+		// (c/g) time vs n.
+		sizes := []int{o.n / 100, o.n / 10, o.n}
+		headers = []string{"variant"}
+		for _, s := range sizes {
+			headers = append(headers, fmt.Sprintf("n=%d", s))
+		}
+		t = newTable(
+			fmt.Sprintf("Figure 11(c/g): time vs n — %s eps=%g minPts=%d", ds.name, ds.eps, ds.minPts),
+			headers...)
+		for _, v := range variants {
+			cells := []string{v.name}
+			for _, s := range sizes {
+				sub := loadDataset(ds.name, s, o.seed)
+				dur, k := timeVariant(v, sub, ds.eps, ds.minPts, 0, o.threads)
+				cells = append(cells, fmt.Sprintf("%s k=%d", fmtDur(dur), k))
+			}
+			t.add(cells...)
+		}
+		t.print()
+
+		// (d/h) speedup over best serial vs threads.
+		threads := threadSweep()
+		bestSerial := time.Duration(0)
+		bestName := ""
+		for _, v := range append(twoDVariants(), seqVariant()) {
+			dur, _ := timeVariant(v, pts, ds.eps, ds.minPts, 0, 1)
+			if bestName == "" || dur < bestSerial {
+				bestSerial, bestName = dur, v.name
+			}
+		}
+		headers = []string{"variant"}
+		for _, th := range threads {
+			headers = append(headers, fmt.Sprintf("p=%d", th))
+		}
+		t = newTable(
+			fmt.Sprintf("Figure 11(d/h): speedup over best serial (%s, %s) — %s n=%d",
+				bestName, fmtDur(bestSerial), ds.name, o.n),
+			headers...)
+		for _, v := range variants {
+			cells := []string{v.name}
+			for _, th := range threads {
+				dur, _ := timeVariant(v, pts, ds.eps, ds.minPts, 0, th)
+				cells = append(cells, fmtSpeedup(bestSerial, dur))
+			}
+			t.add(cells...)
+		}
+		t.print()
+	}
+}
+
+// expTable2 regenerates Table 2: our-exact vs the RP-DBSCAN-style
+// partition/merge comparator on the large-dataset simulators, sweeping eps
+// as in the paper. Shape: our-exact wins by a large factor; the
+// TeraClickLog regime (all points in one cell) is near-trivial.
+func expTable2(o options) {
+	configs := []struct {
+		name   string
+		sweep  []float64
+		minPts int
+	}{
+		{"geolife", []float64{20, 40, 80, 160}, 100},
+		{"cosmo", []float64{100, 200, 400, 800}, 100},
+		{"osm", []float64{50, 100, 200, 400}, 100},
+		{"teraclick", []float64{1500, 3000, 6000, 12000}, 100},
+	}
+	parts := runtime.NumCPU()
+	rp := variant{name: "rpdbscan-sim", run: func(pts geom.Points, eps float64, minPts int, _ float64) int {
+		return baseline.RPDBSCANSim(pts, eps, minPts, parts).NumClusters
+	}}
+	our := methodVariant("our-exact", "exact", false)
+	for _, cfg := range configs {
+		pts := loadDataset(cfg.name, o.n, o.seed)
+		t := newTable(
+			fmt.Sprintf("Table 2: %s n=%d minPts=%d (rpdbscan-sim with %d partitions)",
+				cfg.name, o.n, cfg.minPts, parts),
+			append([]string{"variant"}, epsHeaders(cfg.sweep)...)...)
+		ourTimes := make([]time.Duration, len(cfg.sweep))
+		cells := []string{our.name}
+		for i, eps := range cfg.sweep {
+			dur, k := timeVariant(our, pts, eps, cfg.minPts, 0, o.threads)
+			ourTimes[i] = dur
+			cells = append(cells, fmt.Sprintf("%s k=%d", fmtDur(dur), k))
+		}
+		t.add(cells...)
+		cells = []string{rp.name}
+		rpTimes := make([]time.Duration, len(cfg.sweep))
+		for i, eps := range cfg.sweep {
+			dur, k := timeVariant(rp, pts, eps, cfg.minPts, 0, o.threads)
+			rpTimes[i] = dur
+			cells = append(cells, fmt.Sprintf("%s k=%d", fmtDur(dur), k))
+		}
+		t.add(cells...)
+		cells = []string{"our speedup"}
+		for i := range cfg.sweep {
+			cells = append(cells, fmtSpeedup(rpTimes[i], ourTimes[i]))
+		}
+		t.add(cells...)
+		t.print()
+	}
+}

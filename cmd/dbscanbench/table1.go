@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"pdbscan/internal/hashtable"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+)
+
+// expTable1 exercises every parallel primitive of Table 1 at 1 and NumCPU
+// threads, demonstrating the near-linear work bounds (self-relative speedup
+// is the observable proxy for work-efficiency + low depth).
+func expTable1(o options) {
+	n := o.n
+	if n < 1<<20 {
+		n = 1 << 20
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	ints := make([]int64, n)
+	keys := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		ints[i] = int64(rng.Intn(1000))
+		keys[i] = uint64(rng.Intn(n / 16)) // many duplicate keys for semisort
+	}
+
+	// Pre-sorted halves for the merge bench (sorting is not what Table 1's
+	// merge row measures).
+	sortedA := append([]int64{}, ints[:n/2]...)
+	sortedB := append([]int64{}, ints[n/2:]...)
+	prim.Sort(sortedA, func(x, y int64) bool { return x < y })
+	prim.Sort(sortedB, func(x, y int64) bool { return x < y })
+
+	type primBench struct {
+		name string
+		run  func()
+	}
+	benches := []primBench{
+		{"prefix sum", func() {
+			buf := make([]int64, n)
+			prim.PrefixSum(ints, buf)
+		}},
+		{"filter", func() {
+			prim.Filter(ints, func(x int64) bool { return x%3 == 0 })
+		}},
+		{"comparison sort", func() {
+			a := append([]int64{}, ints...)
+			prim.Sort(a, func(x, y int64) bool { return x < y })
+		}},
+		{"integer sort (radix)", func() {
+			k := append([]uint64{}, keys...)
+			v := make([]int32, n)
+			prim.RadixSortPairs(k, v, 32)
+		}},
+		{"semisort", func() {
+			prim.Semisort(keys)
+		}},
+		{"merge", func() {
+			out := make([]int64, n)
+			prim.Merge(sortedA, sortedB, out, func(x, y int64) bool { return x < y })
+		}},
+		{"hash table (insert+lookup)", func() {
+			tb := hashtable.NewU64(n / 4)
+			parallel.For(n/4, func(i int) { tb.Insert(uint64(i)*0x9e3779b97f4a7c15+1, int32(i)) })
+			parallel.For(n/4, func(i int) { tb.Lookup(uint64(i)*0x9e3779b97f4a7c15 + 1) })
+		}},
+	}
+
+	maxT := runtime.NumCPU()
+	t := newTable(
+		fmt.Sprintf("Table 1: parallel primitives, n=%d — work-efficiency via scaling", n),
+		"primitive", "p=1", fmt.Sprintf("p=%d", maxT), "speedup")
+	for _, b := range benches {
+		t1 := timePrimitive(b.run, 1)
+		tp := timePrimitive(b.run, maxT)
+		t.add(b.name, fmtDur(t1), fmtDur(tp), fmtSpeedup(t1, tp))
+	}
+	t.print()
+}
+
+func timePrimitive(f func(), threads int) time.Duration {
+	old := runtime.GOMAXPROCS(threads)
+	oldW := parallel.SetWorkers(threads)
+	defer func() {
+		runtime.GOMAXPROCS(old)
+		parallel.SetWorkers(oldW)
+	}()
+	// Best of 3 runs.
+	best := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+
+	"pdbscan"
+	"pdbscan/internal/metrics"
+)
+
+// expVerify is the at-scale correctness harness: on every generated dataset
+// it runs all applicable exact variants (with and without bucketing) and
+// checks that they produce the identical clustering, and that approximate
+// variants agree with exact on core flags. This is the property the paper
+// emphasizes — the parallel algorithms return the standard DBSCAN result —
+// checked at sizes where the quadratic test oracle is infeasible.
+func expVerify(o options) {
+	t := newTable("Verification: cross-variant agreement (exact variants identical; approx core-identical)",
+		"dataset", "eps", "minPts", "clusters", "variants", "status")
+	for _, ds := range append(figure6Datasets(),
+		dsConfig{name: "ss-simden-2d", eps: 400, minPts: 100},
+		dsConfig{name: "ss-varden-2d", eps: 1000, minPts: 100},
+	) {
+		pts := loadDataset(ds.name, o.n, o.seed)
+		methods := []pdbscan.Method{pdbscan.MethodExact, pdbscan.MethodExactQt}
+		if pts.D == 2 {
+			methods = append(methods,
+				pdbscan.Method2DGridBCP, pdbscan.Method2DGridUSEC, pdbscan.Method2DGridDelaunay,
+				pdbscan.Method2DBoxBCP, pdbscan.Method2DBoxUSEC, pdbscan.Method2DBoxDelaunay)
+		}
+		var base *pdbscan.Result
+		status := "OK"
+		count := 0
+		for _, m := range methods {
+			for _, bucketing := range []bool{false, true} {
+				res, err := pdbscan.ClusterFlat(pts.Data, pts.D, pdbscan.Config{
+					Eps: ds.eps, MinPts: ds.minPts, Method: m, Bucketing: bucketing,
+				})
+				if err != nil {
+					status = fmt.Sprintf("ERROR %s: %v", m, err)
+					break
+				}
+				count++
+				if base == nil {
+					base = res
+					continue
+				}
+				if res.NumClusters != base.NumClusters ||
+					metrics.AdjustedRandIndex(res.Labels, base.Labels) != 1 {
+					status = fmt.Sprintf("MISMATCH at %s bucketing=%v", m, bucketing)
+				}
+			}
+		}
+		// Approximate: core flags must equal exact's.
+		for _, m := range []pdbscan.Method{pdbscan.MethodApprox, pdbscan.MethodApproxQt} {
+			res, err := pdbscan.ClusterFlat(pts.Data, pts.D, pdbscan.Config{
+				Eps: ds.eps, MinPts: ds.minPts, Method: m, Rho: 0.01,
+			})
+			if err != nil {
+				status = fmt.Sprintf("ERROR %s: %v", m, err)
+				break
+			}
+			count++
+			if !sameCoreFlags(base, res) {
+				status = fmt.Sprintf("CORE MISMATCH at %s", m)
+			}
+		}
+		t.add(ds.name, fmt.Sprintf("%g", ds.eps), fmt.Sprintf("%d", ds.minPts),
+			fmt.Sprintf("%d", base.NumClusters), fmt.Sprintf("%d", count), status)
+	}
+	t.print()
+}
+
+func sameCoreFlags(a, b *pdbscan.Result) bool {
+	if len(a.Core) != len(b.Core) {
+		return false
+	}
+	for i := range a.Core {
+		if a.Core[i] != b.Core[i] {
+			return false
+		}
+	}
+	return true
+}

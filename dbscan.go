@@ -1,0 +1,270 @@
+// Package pdbscan is a parallel implementation of exact and approximate
+// Euclidean DBSCAN, reproducing "Theoretically-Efficient and Practical
+// Parallel DBSCAN" (Wang, Gu, Shun — SIGMOD 2020).
+//
+// The exact methods return precisely the clustering of the standard DBSCAN
+// definition (Ester et al.): core points partitioned by eps-connectivity,
+// border points attached to every cluster with a core point within eps, and
+// noise labeled -1. The approximate methods implement Gan–Tao approximate
+// DBSCAN: identical core points, with cluster merges optional for core pairs
+// at distance in (eps, eps(1+rho)].
+//
+// Quick start:
+//
+//	res, err := pdbscan.Cluster(points, pdbscan.Config{Eps: 10, MinPts: 100})
+//	// res.Labels[i] is point i's cluster (-1 = noise)
+//
+// All methods run in parallel over the available CPUs; Config.Workers caps
+// the parallelism (used by the benchmark harness for scaling experiments).
+package pdbscan
+
+import (
+	"fmt"
+	"math"
+
+	"pdbscan/internal/core"
+	"pdbscan/internal/geom"
+	"pdbscan/internal/grid"
+	"pdbscan/internal/parallel"
+)
+
+// firstNonFinite returns the index of the first NaN/Inf value in data, or -1.
+func firstNonFinite(data []float64) int {
+	for i, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Method selects the algorithm variant. The names follow Section 7.1 of the
+// paper.
+type Method string
+
+const (
+	// MethodAuto picks MethodExact for d >= 3 and Method2DGridBCP for d = 2
+	// (the fastest variants in the paper's evaluation).
+	MethodAuto Method = "auto"
+	// MethodExact marks cores by scanning neighbor cells and connects cells
+	// with filtered, early-terminating BCP ("our-exact").
+	MethodExact Method = "exact"
+	// MethodExactQt answers MarkCore range counts with per-cell quadtrees
+	// ("our-exact-qt").
+	MethodExactQt Method = "exact-qt"
+	// MethodApprox is Gan–Tao approximate DBSCAN with scan-based MarkCore
+	// ("our-approx"); requires Rho > 0.
+	MethodApprox Method = "approx"
+	// MethodApproxQt is MethodApprox with quadtree MarkCore
+	// ("our-approx-qt").
+	MethodApproxQt Method = "approx-qt"
+
+	// 2D-only variants: cell construction (grid or box) x connectivity
+	// (BCP, USEC wavefronts, or Delaunay triangulation).
+	Method2DGridBCP      Method = "2d-grid-bcp"
+	Method2DGridUSEC     Method = "2d-grid-usec"
+	Method2DGridDelaunay Method = "2d-grid-delaunay"
+	Method2DBoxBCP       Method = "2d-box-bcp"
+	Method2DBoxUSEC      Method = "2d-box-usec"
+	Method2DBoxDelaunay  Method = "2d-box-delaunay"
+)
+
+// Methods lists every selectable method (excluding MethodAuto), 2D-only ones
+// last.
+func Methods() []Method {
+	return []Method{
+		MethodExact, MethodExactQt, MethodApprox, MethodApproxQt,
+		Method2DGridBCP, Method2DGridUSEC, Method2DGridDelaunay,
+		Method2DBoxBCP, Method2DBoxUSEC, Method2DBoxDelaunay,
+	}
+}
+
+// Config configures a clustering run.
+type Config struct {
+	// Eps is the DBSCAN radius (required, > 0).
+	Eps float64
+	// MinPts is the core-point density threshold (required, >= 1). A point
+	// is core iff at least MinPts points (including itself) lie within Eps.
+	MinPts int
+	// Method selects the algorithm variant; empty means MethodAuto.
+	Method Method
+	// Rho is the approximation parameter for the approx methods (> 0).
+	// Ignored by exact methods. Defaults to 0.01 when an approx method is
+	// chosen and Rho is unset, matching the paper's default.
+	Rho float64
+	// Bucketing enables the size-sorted batched processing of core cells
+	// (the "-bucketing" suffix in the paper's experiments).
+	Bucketing bool
+	// Buckets is the number of batches when Bucketing is set (default 32).
+	Buckets int
+	// Workers caps the number of OS-level workers used by parallel loops;
+	// 0 means all available CPUs.
+	Workers int
+}
+
+// Result is the clustering output.
+type Result struct {
+	// Labels[i] is the cluster of point i in [0, NumClusters), or -1 for
+	// noise. A border point belonging to several clusters gets the smallest
+	// label; see Border.
+	Labels []int32
+	// Core[i] reports whether point i is a core point.
+	Core []bool
+	// Border maps border points that belong to more than one cluster to
+	// their full ascending membership lists.
+	Border map[int32][]int32
+	// NumClusters is the number of clusters found.
+	NumClusters int
+}
+
+// ClusterSizes returns the number of points whose primary label is each
+// cluster (border multi-memberships count once, under the primary label).
+func (r *Result) ClusterSizes() []int {
+	sizes := make([]int, r.NumClusters)
+	for _, l := range r.Labels {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	return sizes
+}
+
+// NumNoise returns the number of noise points.
+func (r *Result) NumNoise() int {
+	c := 0
+	for _, l := range r.Labels {
+		if l < 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// CoreOnlyLabels returns the labeling of the DBSCAN* variant (Campello et
+// al., cited in the paper's related work): identical clusters but border
+// points are excluded — only core points carry labels, everything else is
+// noise (-1).
+func (r *Result) CoreOnlyLabels() []int32 {
+	out := make([]int32, len(r.Labels))
+	for i, l := range r.Labels {
+		if r.Core[i] {
+			out[i] = l
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Cluster runs DBSCAN over points given as coordinate rows (all rows must
+// have the same dimensionality).
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	pts, err := geom.FromRows(points)
+	if err != nil {
+		return nil, err
+	}
+	return run(pts, cfg)
+}
+
+// ClusterFlat runs DBSCAN over n = len(data)/dims points stored row-major in
+// a flat slice, avoiding the copy of Cluster. data must not be mutated while
+// clustering runs.
+func ClusterFlat(data []float64, dims int, cfg Config) (*Result, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("pdbscan: dims must be positive, got %d", dims)
+	}
+	if len(data) == 0 || len(data)%dims != 0 {
+		return nil, fmt.Errorf("pdbscan: data length %d is not a positive multiple of dims %d", len(data), dims)
+	}
+	pts := geom.Points{N: len(data) / dims, D: dims, Data: data}
+	return run(pts, cfg)
+}
+
+func run(pts geom.Points, cfg Config) (*Result, error) {
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("pdbscan: Eps must be positive, got %v", cfg.Eps)
+	}
+	if cfg.MinPts < 1 {
+		return nil, fmt.Errorf("pdbscan: MinPts must be >= 1, got %d", cfg.MinPts)
+	}
+	// Non-finite coordinates would corrupt the grid construction (NaN cell
+	// coordinates); reject them up front.
+	if bad := firstNonFinite(pts.Data); bad >= 0 {
+		return nil, fmt.Errorf("pdbscan: point %d has a non-finite coordinate (%v)",
+			bad/pts.D, pts.Data[bad])
+	}
+	method := cfg.Method
+	if method == "" || method == MethodAuto {
+		if pts.D == 2 {
+			method = Method2DGridBCP
+		} else {
+			method = MethodExact
+		}
+	}
+	if cfg.Workers > 0 {
+		old := parallel.SetWorkers(cfg.Workers)
+		defer parallel.SetWorkers(old)
+	}
+
+	params := core.Params{
+		MinPts:    cfg.MinPts,
+		Rho:       cfg.Rho,
+		Bucketing: cfg.Bucketing,
+		Buckets:   cfg.Buckets,
+	}
+	useBox := false
+	switch method {
+	case MethodExact:
+		params.Mark, params.Graph = core.MarkScan, core.GraphBCP
+	case MethodExactQt:
+		params.Mark, params.Graph = core.MarkQuadtree, core.GraphQuadtree
+	case MethodApprox:
+		params.Mark, params.Graph = core.MarkScan, core.GraphApprox
+	case MethodApproxQt:
+		params.Mark, params.Graph = core.MarkQuadtree, core.GraphApprox
+	case Method2DGridBCP, Method2DBoxBCP:
+		params.Mark, params.Graph = core.MarkScan, core.GraphBCP
+		useBox = method == Method2DBoxBCP
+	case Method2DGridUSEC, Method2DBoxUSEC:
+		params.Mark, params.Graph = core.MarkScan, core.GraphUSEC
+		useBox = method == Method2DBoxUSEC
+	case Method2DGridDelaunay, Method2DBoxDelaunay:
+		params.Mark, params.Graph = core.MarkScan, core.GraphDelaunay
+		useBox = method == Method2DBoxDelaunay
+	default:
+		return nil, fmt.Errorf("pdbscan: unknown method %q", method)
+	}
+	if params.Graph == core.GraphApprox && params.Rho == 0 {
+		params.Rho = 0.01 // the paper's default
+	}
+	is2DOnly := method == Method2DGridBCP || method == Method2DGridUSEC ||
+		method == Method2DGridDelaunay || useBox
+	if is2DOnly && pts.D != 2 {
+		return nil, fmt.Errorf("pdbscan: method %q requires 2-dimensional points, got d=%d", method, pts.D)
+	}
+
+	var cells *grid.Cells
+	if useBox {
+		cells = grid.BuildBox2D(pts, cfg.Eps)
+		cells.ComputeNeighborsBox2D()
+	} else {
+		cells = grid.BuildGrid(pts, cfg.Eps)
+		// Offset enumeration is cheap in low dimensions; the k-d tree wins
+		// once (2*ceil(sqrt(d))+1)^d explodes (Section 5.1).
+		if pts.D <= 3 {
+			cells.ComputeNeighborsEnum()
+		} else {
+			cells.ComputeNeighborsKD()
+		}
+	}
+	res, err := core.Run(cells, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Labels:      res.Labels,
+		Core:        res.Core,
+		Border:      res.Border,
+		NumClusters: res.NumClusters,
+	}, nil
+}

@@ -1,0 +1,48 @@
+package pdbscan_test
+
+import (
+	"fmt"
+
+	"pdbscan"
+)
+
+// Demonstrates approximate DBSCAN: with well-separated clusters the
+// approximate answer coincides with the exact one, at (asymptotically)
+// linear work.
+func Example_approximate() {
+	var points [][]float64
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{float64(i%5) * 0.1, 0})      // blob A
+		points = append(points, []float64{100 + float64(i%5)*0.1, 50}) // blob B
+	}
+	res, err := pdbscan.Cluster(points, pdbscan.Config{
+		Eps:    1.0,
+		MinPts: 4,
+		Method: pdbscan.MethodApprox,
+		Rho:    0.01, // core pairs in (eps, 1.01*eps] may merge or not
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.NumClusters)
+	// Output: clusters: 2
+}
+
+// Demonstrates selecting a 2D-specific variant and the flat input form.
+func ExampleClusterFlat() {
+	// Two clusters on a line, stored row-major: (0,0) (1,0) ... (10,0) (11,0) ...
+	flat := []float64{
+		0, 0, 1, 0, 2, 0, // cluster around x=0..2
+		50, 0, 51, 0, 52, 0, // cluster around x=50..52
+	}
+	res, err := pdbscan.ClusterFlat(flat, 2, pdbscan.Config{
+		Eps:    1.5,
+		MinPts: 2,
+		Method: pdbscan.Method2DGridUSEC,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.NumClusters, "noise:", res.NumNoise())
+	// Output: clusters: 2 noise: 0
+}

@@ -1,0 +1,46 @@
+// Paramsearch: the paper chooses eps/minPts per dataset by searching for the
+// parameters that "output a correct clustering" (Section 7). This example
+// shows that workflow with the library: sweep eps at a fixed minPts, watch
+// cluster count and noise fraction, and pick the plateau — the eps range
+// where the cluster count is stable is the natural operating point.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pdbscan"
+	"pdbscan/internal/dataset"
+)
+
+func main() {
+	const n = 100000
+	pts := dataset.SeedSpreader(dataset.SeedSpreaderConfig{N: n, D: 3, Seed: 9})
+	fmt.Printf("SS-simden-3D: %d points; sweeping eps at minPts=100\n", pts.N)
+	fmt.Printf("%-10s %-10s %-10s %-12s %s\n", "eps", "clusters", "noise%", "largest%", "time")
+
+	minPts := 100
+	for _, eps := range []float64{10, 25, 50, 100, 400, 1000, 2000, 3000} {
+		start := time.Now()
+		res, err := pdbscan.ClusterFlat(pts.Data, pts.D, pdbscan.Config{
+			Eps: eps, MinPts: minPts, Method: pdbscan.MethodExact, Bucketing: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		largest := 0
+		for _, s := range res.ClusterSizes() {
+			if s > largest {
+				largest = s
+			}
+		}
+		fmt.Printf("%-10g %-10d %-10.1f %-12.1f %v\n",
+			eps, res.NumClusters,
+			100*float64(res.NumNoise())/float64(n),
+			100*float64(largest)/float64(n),
+			time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println()
+	fmt.Println("pick the eps plateau: the cluster count stabilizes at the generator's")
+	fmt.Println("true cluster count (~10) with low noise, before over-merging begins")
+}

@@ -1,0 +1,44 @@
+// Quickstart: cluster a small 2D point set with the default (auto) method
+// and inspect the result. This is the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pdbscan"
+)
+
+func main() {
+	// Three Gaussian blobs plus background noise.
+	rng := rand.New(rand.NewSource(42))
+	centers := [][2]float64{{10, 10}, {50, 50}, {80, 20}}
+	var points [][]float64
+	for i := 0; i < 3000; i++ {
+		c := centers[i%3]
+		points = append(points, []float64{
+			c[0] + rng.NormFloat64()*2,
+			c[1] + rng.NormFloat64()*2,
+		})
+	}
+	for i := 0; i < 200; i++ {
+		points = append(points, []float64{rng.Float64() * 100, rng.Float64() * 100})
+	}
+
+	res, err := pdbscan.Cluster(points, pdbscan.Config{
+		Eps:    1.5, // neighborhood radius
+		MinPts: 10,  // density threshold
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("found %d clusters, %d noise points\n", res.NumClusters, res.NumNoise())
+	for id, size := range res.ClusterSizes() {
+		fmt.Printf("  cluster %d: %d points\n", id, size)
+	}
+
+	// Per-point access: labels, core flags, multi-cluster border points.
+	fmt.Printf("point 0: cluster %d, core=%v\n", res.Labels[0], res.Core[0])
+	fmt.Printf("border points in multiple clusters: %d\n", len(res.Border))
+}

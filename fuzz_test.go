@@ -1,0 +1,89 @@
+package pdbscan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pdbscan/internal/dataset"
+	"pdbscan/internal/geom"
+	"pdbscan/internal/metrics"
+)
+
+// FuzzClusterInvariants feeds arbitrary bytes as 2D points and checks that
+// Cluster either rejects the input or returns a result satisfying the
+// DBSCAN definition (compared against the brute-force oracle).
+func FuzzClusterInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(10), uint8(2))
+	f.Add(bytes.Repeat([]byte{0}, 64), uint8(1), uint8(1))
+	f.Add([]byte{255, 255, 0, 0, 128, 64, 32, 16, 8, 4, 2, 1}, uint8(50), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, epsQ, minPtsQ uint8) {
+		if len(raw) < 16 {
+			return
+		}
+		if len(raw) > 64*16 {
+			raw = raw[:64*16]
+		}
+		// Decode pairs of uint64 -> small finite floats.
+		n := len(raw) / 16
+		rows := make([][]float64, 0, n)
+		for i := 0; i < n; i++ {
+			x := binary.LittleEndian.Uint64(raw[i*16:])
+			y := binary.LittleEndian.Uint64(raw[i*16+8:])
+			rows = append(rows, []float64{
+				float64(x%10000) / 100,
+				float64(y%10000) / 100,
+			})
+		}
+		eps := 0.1 + float64(epsQ)/8
+		minPts := 1 + int(minPtsQ)%6
+		res, err := Cluster(rows, Config{Eps: eps, MinPts: minPts})
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		pts, _ := geom.FromRows(rows)
+		ref := metrics.BruteDBSCAN(pts, eps, minPts)
+		if err := metrics.SameDBSCANResult(ref, res.Core, res.Labels, res.Border, res.NumClusters); err != nil {
+			t.Fatalf("eps=%v minPts=%d n=%d: %v", eps, minPts, len(rows), err)
+		}
+	})
+}
+
+// FuzzCSVReader checks that the CSV reader never panics and that whatever it
+// accepts round-trips through the writer.
+func FuzzCSVReader(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("# comment\n1.5e3, -2\n")
+	f.Add("nan,inf\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		pts, err := dataset.ReadCSV(bytes.NewBufferString(s))
+		if err != nil {
+			return
+		}
+		// Round-trip only for finite data (the writer emits shortest-form
+		// floats, which re-read exactly).
+		for _, v := range pts.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := dataset.WriteCSV(&buf, pts); err != nil {
+			t.Fatalf("write of accepted data failed: %v", err)
+		}
+		back, err := dataset.ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+		if back.N != pts.N || back.D != pts.D {
+			t.Fatalf("round-trip shape changed: %dx%d -> %dx%d", pts.N, pts.D, back.N, back.D)
+		}
+		for i := range pts.Data {
+			if back.Data[i] != pts.Data[i] {
+				t.Fatalf("round-trip value changed at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package baseline implements the comparison algorithms of Section 7.1:
+//
+//   - Sequential: the original Ester et al. DBSCAN with k-d tree range
+//     queries (the classic queue-expansion algorithm);
+//   - PDSDBSCAN: Patwary et al.'s parallel disjoint-set DBSCAN — every point
+//     issues a pointwise eps-range query against a k-d tree and core points
+//     union with their core neighbors (the paper notes its queries get more
+//     expensive as eps grows; ours reproduces that cost shape);
+//   - HPDBSCAN: Götz et al.'s grid-partitioned DBSCAN — pointwise queries
+//     against grid neighbor cells with a union-find merge;
+//   - RPDBSCANSim: an in-process simulation of the RP-DBSCAN partition/merge
+//     structure (random cell partitioning, per-partition local clustering
+//     with halo duplication, then a cross-partition merge phase). See
+//     DESIGN.md for the substitution rationale.
+//
+// Border-point semantics follow the original implementations: a border point
+// receives a single cluster label (the standard-definition multi-membership
+// is only produced by the main pipeline).
+package baseline
+
+import (
+	"pdbscan/internal/geom"
+	"pdbscan/internal/grid"
+	"pdbscan/internal/kdtree"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+	"pdbscan/internal/unionfind"
+)
+
+// Result is the common output of the baseline algorithms.
+type Result struct {
+	Core        []bool
+	Labels      []int32 // -1 = noise; border points get one cluster
+	NumClusters int
+}
+
+// Sequential runs the classic DBSCAN algorithm (Ester et al.) with a k-d
+// tree index: scan points, expand each unvisited core point's cluster with a
+// FIFO queue of eps-neighborhood queries. O(n * query) work, sequential.
+func Sequential(pts geom.Points, eps float64, minPts int) *Result {
+	tree := kdtree.Build(pts)
+	n := pts.N
+	labels := make([]int32, n)
+	core := make([]bool, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	visited := make([]bool, n)
+	var numClusters int32
+	var queue []int32
+	var nbrs []int32
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nbrs = tree.RangeQuery(pts.At(i), eps, nbrs[:0])
+		if len(nbrs) < minPts {
+			continue // noise for now; may become border later
+		}
+		cluster := numClusters
+		numClusters++
+		core[i] = true
+		labels[i] = cluster
+		queue = append(queue[:0], nbrs...)
+		for len(queue) > 0 {
+			q := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if labels[q] == -1 {
+				labels[q] = cluster // border or core; set below
+			}
+			if visited[q] {
+				continue
+			}
+			visited[q] = true
+			qn := tree.RangeQuery(pts.At(int(q)), eps, nil)
+			if len(qn) >= minPts {
+				core[q] = true
+				labels[q] = cluster
+				queue = append(queue, qn...)
+			}
+		}
+	}
+	return &Result{Core: core, Labels: labels, NumClusters: int(numClusters)}
+}
+
+// PDSDBSCAN is the parallel disjoint-set DBSCAN baseline: parallel pointwise
+// eps-queries on a k-d tree, a union-find over points (ours is lock-free
+// where the original is lock-based), and a border pass.
+func PDSDBSCAN(pts geom.Points, eps float64, minPts int) *Result {
+	tree := kdtree.Build(pts)
+	n := pts.N
+	core := make([]bool, n)
+	parallel.For(n, func(i int) {
+		core[i] = tree.CountAtLeast(pts.At(i), eps, minPts)
+	})
+	uf := unionfind.New(n)
+	parallel.ForGrain(n, 16, func(i int) {
+		if !core[i] {
+			return
+		}
+		nbrs := tree.RangeQuery(pts.At(i), eps, nil)
+		for _, q := range nbrs {
+			if core[q] {
+				uf.Union(int32(i), q)
+			}
+		}
+	})
+	return finishPointUF(pts, eps, core, uf, func(i int) []int32 {
+		return tree.RangeQuery(pts.At(i), eps, nil)
+	})
+}
+
+// HPDBSCAN is the grid-partitioned baseline: identical structure to
+// PDSDBSCAN but with pointwise queries answered by scanning the grid
+// neighbor cells (the local clustering + merge of the original collapses to
+// a shared union-find in shared memory).
+func HPDBSCAN(pts geom.Points, eps float64, minPts int) *Result {
+	cells := grid.BuildGrid(pts, eps)
+	if pts.D <= 3 {
+		cells.ComputeNeighborsEnum()
+	} else {
+		cells.ComputeNeighborsKD()
+	}
+	n := pts.N
+	eps2 := eps * eps
+	core := make([]bool, n)
+	// Pointwise core test by scanning own + neighbor cells.
+	parallel.ForGrain(n, 16, func(i int) {
+		q := pts.At(i)
+		g := cells.CellOf[i]
+		count := 0
+		countCell := func(h int32) bool {
+			for _, p := range cells.PointsOf(int(h)) {
+				if geom.DistSq(q, pts.At(int(p))) <= eps2 {
+					count++
+					if count >= minPts {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if countCell(g) {
+			core[i] = true
+			return
+		}
+		for _, h := range cells.Neighbors[g] {
+			if countCell(h) {
+				core[i] = true
+				return
+			}
+		}
+	})
+	uf := unionfind.New(n)
+	parallel.ForGrain(n, 16, func(i int) {
+		if !core[i] {
+			return
+		}
+		q := pts.At(i)
+		g := cells.CellOf[i]
+		unionCell := func(h int32) {
+			for _, p := range cells.PointsOf(int(h)) {
+				if core[p] && geom.DistSq(q, pts.At(int(p))) <= eps2 {
+					uf.Union(int32(i), p)
+				}
+			}
+		}
+		unionCell(g)
+		for _, h := range cells.Neighbors[g] {
+			unionCell(h)
+		}
+	})
+	query := func(i int) []int32 {
+		q := pts.At(i)
+		g := cells.CellOf[i]
+		var out []int32
+		collect := func(h int32) {
+			for _, p := range cells.PointsOf(int(h)) {
+				if geom.DistSq(q, pts.At(int(p))) <= eps2 {
+					out = append(out, p)
+				}
+			}
+		}
+		collect(g)
+		for _, h := range cells.Neighbors[g] {
+			collect(h)
+		}
+		return out
+	}
+	return finishPointUF(pts, eps, core, uf, query)
+}
+
+// finishPointUF densifies point-level union-find components into cluster
+// labels and attaches border points to the cluster of one core neighbor.
+func finishPointUF(pts geom.Points, eps float64, core []bool, uf *unionfind.UF, query func(i int) []int32) *Result {
+	n := pts.N
+	isRoot := make([]bool, n)
+	parallel.For(n, func(i int) {
+		if core[i] {
+			isRoot[uf.Find(int32(i))] = true
+		}
+	})
+	roots := prim.FilterIndex(n, func(i int) bool { return isRoot[i] })
+	dense := make([]int32, n)
+	parallel.For(len(roots), func(i int) { dense[roots[i]] = int32(i) })
+	labels := make([]int32, n)
+	parallel.ForGrain(n, 16, func(i int) {
+		if core[i] {
+			labels[i] = dense[uf.Find(int32(i))]
+			return
+		}
+		labels[i] = -1
+		best := int32(-1)
+		for _, q := range query(i) {
+			if core[q] {
+				l := dense[uf.Find(q)]
+				if best == -1 || l < best {
+					best = l
+				}
+			}
+		}
+		labels[i] = best
+	})
+	return &Result{Core: core, Labels: labels, NumClusters: len(roots)}
+}

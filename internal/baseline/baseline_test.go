@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdbscan/internal/geom"
+	"pdbscan/internal/metrics"
+)
+
+func clusteredPoints(n, d int, scale float64, seed int64) geom.Points {
+	rng := rand.New(rand.NewSource(seed))
+	nClusters := 3 + rng.Intn(3)
+	centers := make([][]float64, nClusters)
+	for i := range centers {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.Float64() * scale
+		}
+		centers[i] = c
+	}
+	data := make([]float64, n*d)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.1 {
+			for j := 0; j < d; j++ {
+				data[i*d+j] = rng.Float64() * scale
+			}
+			continue
+		}
+		c := centers[rng.Intn(nClusters)]
+		for j := 0; j < d; j++ {
+			data[i*d+j] = c[j] + rng.NormFloat64()*scale/40
+		}
+	}
+	return geom.Points{N: n, D: d, Data: data}
+}
+
+// checkAgainstOracle verifies a baseline result: identical core flags and
+// core-point partition; border points must carry one of their oracle
+// memberships (baselines use single-membership semantics); noise matches.
+func checkAgainstOracle(t *testing.T, pts geom.Points, eps float64, minPts int, res *Result, name string) {
+	t.Helper()
+	ref := metrics.BruteDBSCAN(pts, eps, minPts)
+	if res.NumClusters != ref.NumClusters {
+		t.Fatalf("%s: clusters = %d, want %d", name, res.NumClusters, ref.NumClusters)
+	}
+	fw := map[int32]int{}
+	bw := map[int]int32{}
+	for i := 0; i < pts.N; i++ {
+		if res.Core[i] != ref.Core[i] {
+			t.Fatalf("%s: point %d core=%v want %v", name, i, res.Core[i], ref.Core[i])
+		}
+		if !ref.Core[i] {
+			continue
+		}
+		got, want := res.Labels[i], ref.Clusters[i][0]
+		if g, ok := fw[got]; ok && g != want {
+			t.Fatalf("%s: core partition mismatch at %d", name, i)
+		}
+		if w, ok := bw[want]; ok && w != got {
+			t.Fatalf("%s: core partition split at %d", name, i)
+		}
+		fw[got] = want
+		bw[want] = got
+	}
+	for i := 0; i < pts.N; i++ {
+		if ref.Core[i] {
+			continue
+		}
+		if len(ref.Clusters[i]) == 0 {
+			if res.Labels[i] != -1 {
+				t.Fatalf("%s: noise point %d labeled %d", name, i, res.Labels[i])
+			}
+			continue
+		}
+		if res.Labels[i] < 0 {
+			t.Fatalf("%s: border point %d unlabeled", name, i)
+		}
+		mapped, ok := fw[res.Labels[i]]
+		if !ok {
+			t.Fatalf("%s: border point %d has unseen label", name, i)
+		}
+		found := false
+		for _, c := range ref.Clusters[i] {
+			if c == mapped {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s: border point %d in wrong cluster", name, i)
+		}
+	}
+}
+
+func TestSequentialMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, d := range []int{2, 3, 5} {
+			pts := clusteredPoints(350, d, 80, seed*7+int64(d))
+			eps, minPts := 7.0, 6
+			res := Sequential(pts, eps, minPts)
+			checkAgainstOracle(t, pts, eps, minPts, res, fmt.Sprintf("seq-d%d-s%d", d, seed))
+		}
+	}
+}
+
+func TestPDSDBSCANMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, d := range []int{2, 3, 5} {
+			pts := clusteredPoints(350, d, 80, seed*11+int64(d))
+			eps, minPts := 7.0, 6
+			res := PDSDBSCAN(pts, eps, minPts)
+			checkAgainstOracle(t, pts, eps, minPts, res, fmt.Sprintf("pds-d%d-s%d", d, seed))
+		}
+	}
+}
+
+func TestHPDBSCANMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, d := range []int{2, 3, 5} {
+			pts := clusteredPoints(350, d, 80, seed*13+int64(d))
+			eps, minPts := 7.0, 6
+			res := HPDBSCAN(pts, eps, minPts)
+			checkAgainstOracle(t, pts, eps, minPts, res, fmt.Sprintf("hp-d%d-s%d", d, seed))
+		}
+	}
+}
+
+func TestRPDBSCANSimMatchesOracle(t *testing.T) {
+	for _, parts := range []int{1, 4, 13} {
+		for seed := int64(1); seed <= 2; seed++ {
+			pts := clusteredPoints(350, 3, 80, seed*17)
+			eps, minPts := 7.0, 6
+			res := RPDBSCANSim(pts, eps, minPts, parts)
+			checkAgainstOracle(t, pts, eps, minPts, res, fmt.Sprintf("rp-p%d-s%d", parts, seed))
+		}
+	}
+}
+
+func TestBaselinesAgreeWithEachOther(t *testing.T) {
+	pts := clusteredPoints(800, 3, 100, 23)
+	eps, minPts := 8.0, 10
+	seq := Sequential(pts, eps, minPts)
+	pds := PDSDBSCAN(pts, eps, minPts)
+	hp := HPDBSCAN(pts, eps, minPts)
+	rp := RPDBSCANSim(pts, eps, minPts, 8)
+	if seq.NumClusters != pds.NumClusters || seq.NumClusters != hp.NumClusters ||
+		seq.NumClusters != rp.NumClusters {
+		t.Fatalf("cluster counts differ: seq=%d pds=%d hp=%d rp=%d",
+			seq.NumClusters, pds.NumClusters, hp.NumClusters, rp.NumClusters)
+	}
+	// Core partitions must be identical (border labels may differ).
+	coreLabelsOf := func(r *Result) []int32 {
+		out := make([]int32, len(r.Labels))
+		for i := range out {
+			if r.Core[i] {
+				out[i] = r.Labels[i]
+			} else {
+				out[i] = -1
+			}
+		}
+		return out
+	}
+	a := coreLabelsOf(seq)
+	for _, other := range []*Result{pds, hp, rp} {
+		if ari := metrics.AdjustedRandIndex(a, coreLabelsOf(other)); ari != 1 {
+			t.Fatalf("core partitions differ (ARI=%v)", ari)
+		}
+	}
+}
+
+func TestSequentialEdgeCases(t *testing.T) {
+	one, _ := geom.FromRows([][]float64{{0, 0}})
+	res := Sequential(one, 1, 2)
+	if res.NumClusters != 0 || res.Labels[0] != -1 {
+		t.Fatal("single point should be noise")
+	}
+	res = Sequential(one, 1, 1)
+	if res.NumClusters != 1 || res.Labels[0] != 0 {
+		t.Fatal("single point should cluster with minPts=1")
+	}
+}

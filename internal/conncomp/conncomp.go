@@ -1,0 +1,52 @@
+// Package conncomp computes connected components of an undirected graph in
+// parallel. The paper runs connected components over the cell graph after
+// construction (Section 4.4, Delaunay variant); we process all edges in
+// parallel through the lock-free union-find and then resolve labels, which is
+// the standard linear-work randomized approach.
+package conncomp
+
+import (
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/unionfind"
+)
+
+// Edge is an undirected edge between vertices U and V.
+type Edge struct {
+	U, V int32
+}
+
+// Components unions every edge in parallel and returns, for each of the n
+// vertices, the (root-canonical) component ID, plus the number of components.
+func Components(n int, edges []Edge) (labels []int32, count int) {
+	uf := unionfind.New(n)
+	parallel.For(len(edges), func(i int) {
+		uf.Union(edges[i].U, edges[i].V)
+	})
+	return Labels(uf)
+}
+
+// Labels extracts dense component labels [0, count) from a union-find.
+func Labels(uf *unionfind.UF) (labels []int32, count int) {
+	n := uf.Len()
+	labels = make([]int32, n)
+	parallel.For(n, func(i int) {
+		labels[i] = uf.Find(int32(i))
+	})
+	// Densify: roots get labels 0..count-1 in root-index order.
+	dense := make([]int32, n)
+	parallel.For(n, func(i int) {
+		if labels[i] == int32(i) {
+			dense[i] = 1
+		}
+	})
+	var run int32
+	for i := 0; i < n; i++ { // n is small (cells); serial scan is fine
+		v := dense[i]
+		dense[i] = run
+		run += v
+	}
+	parallel.For(n, func(i int) {
+		labels[i] = dense[labels[i]]
+	})
+	return labels, int(run)
+}

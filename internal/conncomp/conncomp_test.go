@@ -1,0 +1,120 @@
+package conncomp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bfsComponents is the reference implementation.
+func bfsComponents(n int, edges []Edge) ([]int, int) {
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	count := 0
+	var queue []int32
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = count
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if labels[v] < 0 {
+					labels[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+func samePartition(a []int32, b []int, t *testing.T) {
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch %d vs %d", len(a), len(b))
+	}
+	fw := map[int32]int{}
+	bw := map[int]int32{}
+	for i := range a {
+		if w, ok := fw[a[i]]; ok {
+			if w != b[i] {
+				t.Fatalf("index %d: label %d maps to both %d and %d", i, a[i], w, b[i])
+			}
+		} else {
+			fw[a[i]] = b[i]
+		}
+		if w, ok := bw[b[i]]; ok {
+			if w != a[i] {
+				t.Fatalf("index %d: reverse mismatch", i)
+			}
+		} else {
+			bw[b[i]] = a[i]
+		}
+	}
+}
+
+func TestComponentsMatchBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		m := rng.Intn(2 * n)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		}
+		got, gotCount := Components(n, edges)
+		want, wantCount := bfsComponents(n, edges)
+		if gotCount != wantCount {
+			t.Fatalf("trial %d: count %d want %d", trial, gotCount, wantCount)
+		}
+		samePartition(got, want, t)
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	labels, count := Components(5, nil)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatal("duplicate label without edges")
+		}
+		seen[l] = true
+	}
+}
+
+func TestSingleComponentLarge(t *testing.T) {
+	n := 100000
+	edges := make([]Edge, n-1)
+	for i := range edges {
+		edges[i] = Edge{int32(i), int32(i + 1)}
+	}
+	_, count := Components(n, edges)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+func TestLabelsDense(t *testing.T) {
+	labels, count := Components(6, []Edge{{0, 1}, {2, 3}, {4, 5}})
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	for _, l := range labels {
+		if l < 0 || int(l) >= count {
+			t.Fatalf("label %d out of range [0,%d)", l, count)
+		}
+	}
+}

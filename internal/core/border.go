@@ -1,0 +1,102 @@
+package core
+
+import (
+	"pdbscan/internal/geom"
+	"pdbscan/internal/parallel"
+)
+
+// clusterBorder implements Algorithm 4: every non-core point checks the core
+// points of its own cell and of all neighboring cells; it joins the cluster
+// of each core point within eps. Border points may belong to multiple
+// clusters; labels[p] receives the smallest, and the full sets (for points
+// with more than one) are returned as a map.
+//
+// Only cells with fewer than minPts points can contain non-core points, so
+// the loop mirrors the paper's `|g| < minPts` guard.
+func (st *pipeline) clusterBorder(labels []int32, numClusters int) map[int32][]int32 {
+	c := st.cells
+	eps2 := st.eps * st.eps
+	numCells := c.NumCells()
+
+	// memberships[p] is non-nil only for border points in 2+ clusters.
+	memberships := make([][]int32, c.Pts.N)
+	parallel.ForGrain(numCells, 1, func(g int) {
+		if c.CellSize(g) >= st.p.MinPts {
+			return // all points are core
+		}
+		for _, p := range c.PointsOf(g) {
+			if st.coreFlags[p] {
+				continue
+			}
+			q := st.at(p)
+			var found []int32 // distinct cluster labels, ascending insert
+			addCell := func(h int32) {
+				// Skip non-core cells and cells beyond eps.
+				core := st.corePts[h]
+				if len(core) == 0 {
+					return
+				}
+				d := c.Pts.D
+				if geom.PointBoxDistSq(q,
+					st.coreBBLo[int(h)*d:(int(h)+1)*d],
+					st.coreBBHi[int(h)*d:(int(h)+1)*d]) > eps2 {
+					return
+				}
+				// The whole cell belongs to one cluster; if we already have
+				// its label, no need to scan the points again.
+				lbl := labels[core[0]]
+				if containsLabel(found, lbl) {
+					return
+				}
+				for _, r := range core {
+					if geom.DistSq(q, st.at(r)) <= eps2 {
+						found = insertLabel(found, lbl)
+						return
+					}
+				}
+			}
+			addCell(int32(g))
+			for _, h := range c.Neighbors[g] {
+				addCell(h)
+			}
+			if len(found) > 0 {
+				labels[p] = found[0]
+				if len(found) > 1 {
+					memberships[p] = found
+				}
+			}
+		}
+	})
+
+	border := make(map[int32][]int32)
+	for p, m := range memberships {
+		if m != nil {
+			border[int32(p)] = m
+		}
+	}
+	return border
+}
+
+func containsLabel(set []int32, l int32) bool {
+	for _, v := range set {
+		if v == l {
+			return true
+		}
+	}
+	return false
+}
+
+// insertLabel inserts l into the ascending set if absent.
+func insertLabel(set []int32, l int32) []int32 {
+	i := 0
+	for i < len(set) && set[i] < l {
+		i++
+	}
+	if i < len(set) && set[i] == l {
+		return set
+	}
+	set = append(set, 0)
+	copy(set[i+1:], set[i:])
+	set[i] = l
+	return set
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"pdbscan/internal/delaunay"
+	"pdbscan/internal/geom"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+	"pdbscan/internal/unionfind"
+)
+
+// clusterCore implements Algorithm 3: build the cell graph over core cells,
+// maintaining connected components on the fly in a lock-free union-find so
+// that connectivity queries between already-connected cells are pruned, and
+// optionally processing cells in size-sorted batches (bucketing).
+func (st *pipeline) clusterCore() {
+	st.uf = unionfind.New(st.cells.NumCells())
+	if len(st.coreCells) == 0 {
+		return
+	}
+	if st.p.Graph == GraphDelaunay {
+		st.clusterCoreDelaunay()
+		return
+	}
+
+	var connect func(g, h int32) bool
+	switch st.p.Graph {
+	case GraphBCP:
+		connect = st.bcpConnected
+	case GraphQuadtree:
+		st.coreTrees = make([]lazyTree, st.cells.NumCells())
+		connect = st.quadtreeConnected
+	case GraphApprox:
+		st.coreTrees = make([]lazyTree, st.cells.NumCells())
+		connect = st.approxConnected
+	case GraphUSEC:
+		st.initUSEC()
+		connect = st.usecConnected
+	}
+
+	// SortBySize (Algorithm 3, line 3): non-increasing core-point count, so
+	// large cells connect their surroundings early and prune later queries.
+	order := make([]int32, len(st.coreCells))
+	copy(order, st.coreCells)
+	prim.Sort(order, func(a, b int32) bool {
+		ca, cb := len(st.corePts[a]), len(st.corePts[b])
+		if ca != cb {
+			return ca > cb
+		}
+		return a < b
+	})
+
+	process := func(g int32) {
+		for _, h := range st.cells.Neighbors[g] {
+			if len(st.corePts[h]) == 0 {
+				continue // not a core cell
+			}
+			// Each unordered pair is examined by the higher-index cell.
+			if h >= g {
+				continue
+			}
+			// Core bounding boxes must be within eps for any core pair to
+			// qualify (the neighbor relation was computed from full cells).
+			d := st.cells.Pts.D
+			if geom.BoxBoxDistSq(
+				st.coreBBLo[int(g)*d:(int(g)+1)*d], st.coreBBHi[int(g)*d:(int(g)+1)*d],
+				st.coreBBLo[int(h)*d:(int(h)+1)*d], st.coreBBHi[int(h)*d:(int(h)+1)*d],
+			) > st.eps*st.eps {
+				continue
+			}
+			// Reduced connectivity queries: skip if already connected.
+			if st.uf.SameSet(g, h) {
+				continue
+			}
+			if connect(g, h) {
+				st.uf.Union(g, h)
+			}
+		}
+	}
+
+	if st.p.Bucketing {
+		// Process the sorted cells in batches: sequential across batches,
+		// parallel within, so the pruning from earlier (larger) cells is
+		// visible to later batches (Section 4.4, bucketing).
+		nb := st.p.Buckets
+		if nb > len(order) {
+			nb = len(order)
+		}
+		bsize := (len(order) + nb - 1) / nb
+		for lo := 0; lo < len(order); lo += bsize {
+			hi := lo + bsize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			batch := order[lo:hi]
+			parallel.ForGrain(len(batch), 1, func(i int) { process(batch[i]) })
+		}
+	} else {
+		parallel.ForGrain(len(order), 1, func(i int) { process(order[i]) })
+	}
+}
+
+// bcpConnected decides cell connectivity with a bichromatic closest pair
+// computation over core points, using the two optimizations of Section 4.4:
+// (1) filter out points farther than eps from the other cell's core bounding
+// box, and (2) iterate over fixed-size blocks of the two point sets, aborting
+// as soon as any pair within eps is found.
+func (st *pipeline) bcpConnected(g, h int32) bool {
+	d := st.cells.Pts.D
+	eps2 := st.eps * st.eps
+	gPts := st.corePts[g]
+	hPts := st.corePts[h]
+	gLo, gHi := st.coreBBLo[int(g)*d:(int(g)+1)*d], st.coreBBHi[int(g)*d:(int(g)+1)*d]
+	hLo, hHi := st.coreBBLo[int(h)*d:(int(h)+1)*d], st.coreBBHi[int(h)*d:(int(h)+1)*d]
+
+	// Filter: only points within eps of the other cell's core box can be in
+	// a qualifying pair.
+	gf := filterNear(st, gPts, hLo, hHi, eps2)
+	if len(gf) == 0 {
+		return false
+	}
+	hf := filterNear(st, hPts, gLo, gHi, eps2)
+	if len(hf) == 0 {
+		return false
+	}
+
+	// Blocked early-termination scan.
+	const block = 64
+	for i := 0; i < len(gf); i += block {
+		iEnd := min(i+block, len(gf))
+		for j := 0; j < len(hf); j += block {
+			jEnd := min(j+block, len(hf))
+			for _, p := range gf[i:iEnd] {
+				pRow := st.at(p)
+				for _, q := range hf[j:jEnd] {
+					if geom.DistSq(pRow, st.at(q)) <= eps2 {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// filterNear returns the subset of pts within sqrt(eps2) of the box.
+func filterNear(st *pipeline, pts []int32, boxLo, boxHi []float64, eps2 float64) []int32 {
+	out := make([]int32, 0, len(pts))
+	for _, p := range pts {
+		if geom.PointBoxDistSq(st.at(p), boxLo, boxHi) <= eps2 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// quadtreeConnected queries the larger cell's core quadtree with each core
+// point of the smaller cell, terminating on the first non-zero range count
+// (the exact quadtree connectivity of Section 5.2).
+func (st *pipeline) quadtreeConnected(g, h int32) bool {
+	// Query from the smaller side into the bigger tree.
+	if len(st.corePts[g]) > len(st.corePts[h]) {
+		g, h = h, g
+	}
+	tree := st.coreTree(h)
+	for _, p := range st.corePts[g] {
+		if tree.AnyWithin(st.at(p), st.eps) {
+			return true
+		}
+	}
+	return false
+}
+
+// approxConnected is quadtreeConnected with Gan–Tao's approximate range
+// query: connect when a point is certainly within eps, never connect when
+// everything is beyond eps(1+rho), either answer in between.
+func (st *pipeline) approxConnected(g, h int32) bool {
+	if len(st.corePts[g]) > len(st.corePts[h]) {
+		g, h = h, g
+	}
+	tree := st.coreTree(h)
+	for _, p := range st.corePts[g] {
+		if tree.ApproxAnyWithin(st.at(p), st.eps, st.p.Rho) {
+			return true
+		}
+	}
+	return false
+}
+
+// clusterCoreDelaunay implements the triangulation-based cell graph
+// (Section 4.4): triangulate all core points, keep inter-cell edges of
+// length at most eps (parallel filter), and union the endpoints' cells.
+func (st *pipeline) clusterCoreDelaunay() {
+	// Gather all core points.
+	total := 0
+	for _, g := range st.coreCells {
+		total += len(st.corePts[g])
+	}
+	all := make([]int32, 0, total)
+	for _, g := range st.coreCells {
+		all = append(all, st.corePts[g]...)
+	}
+	edges := delaunay.Triangulate(st.cells.Pts, all)
+	cellEdges := delaunay.FilterCellEdges(edges, st.cells.Pts, st.cells.CellOf, st.eps)
+	parallel.For(len(cellEdges), func(i int) {
+		st.uf.Union(cellEdges[i].U, cellEdges[i].V)
+	})
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pdbscan/internal/geom"
+	"pdbscan/internal/grid"
+	"pdbscan/internal/metrics"
+)
+
+// TestBucketingAcrossStrategies verifies that bucketing changes no result
+// for every cell-graph strategy (it only reorders connectivity queries).
+func TestBucketingAcrossStrategies(t *testing.T) {
+	pts := clusteredPoints(500, 2, 80, 99)
+	eps := 4.0
+	cells := buildGridCells(pts, eps)
+	for _, g := range []GraphStrategy{GraphBCP, GraphQuadtree, GraphUSEC} {
+		base, err := Run(cells, Params{MinPts: 8, Graph: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bucketed, err := Run(cells, Params{MinPts: 8, Graph: g, Bucketing: true, Buckets: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.NumClusters != bucketed.NumClusters {
+			t.Fatalf("graph %d: bucketing changed cluster count %d -> %d",
+				g, base.NumClusters, bucketed.NumClusters)
+		}
+		if ari := metrics.AdjustedRandIndex(base.Labels, bucketed.Labels); ari != 1 {
+			t.Fatalf("graph %d: bucketing changed labels (ARI %v)", g, ari)
+		}
+	}
+}
+
+// TestApproxOnBoxCells runs the approximate strategy over the 2D box
+// construction (quadtree roots fall back to squared-up bounding boxes).
+func TestApproxOnBoxCells(t *testing.T) {
+	pts := clusteredPoints(400, 2, 80, 41)
+	eps := 4.0
+	cells := grid.BuildBox2D(pts, eps)
+	cells.ComputeNeighborsBox2D()
+	for _, rho := range []float64{0.01, 0.3} {
+		res, err := Run(cells, Params{MinPts: 6, Graph: GraphApprox, Rho: rho})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.ValidApproxResult(pts, eps, rho, 6,
+			res.Core, res.Labels, res.Border); err != nil {
+			t.Fatalf("rho=%v: %v", rho, err)
+		}
+	}
+}
+
+// TestNegativeCoordinates exercises the origin shift in the grid builder.
+func TestNegativeCoordinates(t *testing.T) {
+	pts := clusteredPoints(300, 3, 50, 55)
+	// Shift everything negative.
+	shifted := make([]float64, len(pts.Data))
+	for i, v := range pts.Data {
+		shifted[i] = v - 1000
+	}
+	neg := geom.Points{N: pts.N, D: pts.D, Data: shifted}
+	eps := 6.0
+	cells := buildGridCells(neg, eps)
+	res, err := Run(cells, Params{MinPts: 6, Graph: GraphBCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := metrics.BruteDBSCAN(neg, eps, 6)
+	if err := metrics.SameDBSCANResult(ref, res.Core, res.Labels, res.Border, res.NumClusters); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedScales uses coordinates at very different magnitudes per axis.
+func TestMixedScales(t *testing.T) {
+	pts := clusteredPoints(250, 2, 50, 77)
+	data := make([]float64, len(pts.Data))
+	copy(data, pts.Data)
+	for i := 1; i < len(data); i += 2 {
+		data[i] *= 1e-3 // compress the y axis
+	}
+	mixed := geom.Points{N: pts.N, D: 2, Data: data}
+	eps := 2.0
+	cells := buildGridCells(mixed, eps)
+	for _, g := range []GraphStrategy{GraphBCP, GraphUSEC} {
+		res, err := Run(cells, Params{MinPts: 5, Graph: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := metrics.BruteDBSCAN(mixed, eps, 5)
+		if err := metrics.SameDBSCANResult(ref, res.Core, res.Labels, res.Border, res.NumClusters); err != nil {
+			t.Fatalf("graph %d: %v", g, err)
+		}
+	}
+}
+
+// TestManySmallCells exercises the regime where every cell holds one point
+// (eps much smaller than spacing) across strategies.
+func TestManySmallCells(t *testing.T) {
+	rows := [][]float64{}
+	for i := 0; i < 200; i++ {
+		rows = append(rows, []float64{float64(i) * 10, float64(i%7) * 10})
+	}
+	pts, _ := geom.FromRows(rows)
+	cells := buildGridCells(pts, 1.0)
+	if cells.NumCells() != pts.N {
+		t.Fatalf("cells = %d, want %d", cells.NumCells(), pts.N)
+	}
+	res, err := Run(cells, Params{MinPts: 1, Graph: GraphBCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point is core (counts itself) and isolated.
+	if res.NumClusters != pts.N {
+		t.Fatalf("clusters = %d, want %d", res.NumClusters, pts.N)
+	}
+}
+
+// TestEpsBoundaryPairs places points at exactly eps distance: the definition
+// uses d <= eps, so they must connect.
+func TestEpsBoundaryPairs(t *testing.T) {
+	eps := 2.0
+	rows := [][]float64{{0, 0}, {2, 0}, {4, 0}} // consecutive pairs at exactly eps
+	pts, _ := geom.FromRows(rows)
+	cells := buildGridCells(pts, eps)
+	res, err := Run(cells, Params{MinPts: 2, Graph: GraphBCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d, want 1 (chain at exactly eps)", res.NumClusters)
+	}
+	for i := range rows {
+		if !res.Core[i] {
+			t.Fatalf("point %d should be core", i)
+		}
+	}
+	for _, g := range []GraphStrategy{GraphQuadtree, GraphUSEC, GraphDelaunay} {
+		r, err := Run(cells, Params{MinPts: 2, Graph: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NumClusters != 1 {
+			t.Fatalf("graph %d: clusters = %d, want 1", g, r.NumClusters)
+		}
+	}
+}
+
+// TestVaryingBucketsLargerMatrix runs a wider (eps, minPts) matrix through
+// two strategies as a regression net for the union-find pruning.
+func TestVaryingBucketsLargerMatrix(t *testing.T) {
+	pts := clusteredPoints(350, 2, 70, 31)
+	for _, eps := range []float64{1, 2.5, 6} {
+		cells := buildGridCells(pts, eps)
+		for _, minPts := range []int{2, 5, 20} {
+			ref := metrics.BruteDBSCAN(pts, eps, minPts)
+			for _, g := range []GraphStrategy{GraphBCP, GraphUSEC} {
+				res, err := Run(cells, Params{MinPts: minPts, Graph: g, Bucketing: true, Buckets: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := metrics.SameDBSCANResult(ref, res.Core, res.Labels, res.Border, res.NumClusters); err != nil {
+					t.Fatalf("eps=%v minPts=%d graph=%d: %v", eps, minPts, g, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCollinearPointsGridAndUSEC is a degeneracy regression: all points on a
+// line (the Delaunay variant is excluded: collinear inputs have no proper
+// triangulation).
+func TestCollinearPointsGridAndUSEC(t *testing.T) {
+	rows := [][]float64{}
+	for i := 0; i < 60; i++ {
+		rows = append(rows, []float64{float64(i) * 0.5, 3})
+	}
+	pts, _ := geom.FromRows(rows)
+	eps := 1.0
+	cells := buildGridCells(pts, eps)
+	ref := metrics.BruteDBSCAN(pts, eps, 3)
+	for _, g := range []GraphStrategy{GraphBCP, GraphQuadtree, GraphUSEC} {
+		res, err := Run(cells, Params{MinPts: 3, Graph: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.SameDBSCANResult(ref, res.Core, res.Labels, res.Border, res.NumClusters); err != nil {
+			t.Fatalf("graph %d: %v", g, err)
+		}
+	}
+}
+
+func ExampleRun() {
+	rows := [][]float64{{0, 0}, {0.5, 0}, {1, 0}, {10, 10}}
+	pts, _ := geom.FromRows(rows)
+	cells := grid.BuildGrid(pts, 1.0)
+	cells.ComputeNeighborsEnum()
+	res, _ := Run(cells, Params{MinPts: 2, Graph: GraphBCP})
+	fmt.Println(res.NumClusters)
+	// Output: 1
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"pdbscan/internal/geom"
+	"pdbscan/internal/parallel"
+)
+
+// markCore implements Algorithm 2: cells with at least minPts points are
+// all-core; points in smaller cells count their eps-neighbors in their own
+// cell plus every neighboring cell via RangeCount queries.
+func (st *pipeline) markCore() {
+	c := st.cells
+	n := c.Pts.N
+	numCells := c.NumCells()
+	st.coreFlags = make([]bool, n)
+	if st.p.Mark == MarkQuadtree {
+		st.allTrees = make([]lazyTree, numCells)
+	}
+	minPts := st.p.MinPts
+	eps := st.eps
+	eps2 := eps * eps
+
+	parallel.ForGrain(numCells, 1, func(g int) {
+		size := c.CellSize(g)
+		pts := c.PointsOf(g)
+		if size >= minPts {
+			// Every pair inside a cell is within eps (cell diameter <= eps).
+			for _, p := range pts {
+				st.coreFlags[p] = true
+			}
+			return
+		}
+		// Small cell: each point runs RangeCount against the neighbors.
+		nbrs := c.Neighbors[g]
+		for _, p := range pts {
+			count := size // the cell's own points are all within eps
+			q := st.at(p)
+			for _, h := range nbrs {
+				if count >= minPts {
+					break
+				}
+				// Skip neighbor cells entirely outside the eps-ball.
+				hLo, hHi := c.CellBox(int(h))
+				if geom.PointBoxDistSq(q, hLo, hHi) > eps2 {
+					continue
+				}
+				if st.p.Mark == MarkQuadtree {
+					count += st.allTree(h).CountWithin(q, eps)
+				} else {
+					count += st.rangeCountScan(q, int(h), eps2, minPts-count)
+				}
+			}
+			if count >= minPts {
+				st.coreFlags[p] = true
+			}
+		}
+	})
+}
+
+// rangeCountScan counts points of cell h within sqrt(eps2) of q by scanning,
+// stopping once `need` qualifying points have been found (early exit never
+// changes the core/non-core decision).
+func (st *pipeline) rangeCountScan(q []float64, h int, eps2 float64, need int) int {
+	count := 0
+	for _, r := range st.cells.PointsOf(h) {
+		if geom.DistSq(q, st.at(r)) <= eps2 {
+			count++
+			if count >= need {
+				return count
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,279 @@
+// Package core implements the paper's primary contribution: the parallel
+// DBSCAN pipeline of Algorithm 1 — MarkCore (Algorithm 2), ClusterCore
+// (Algorithm 3) with every cell-graph strategy the paper describes (BCP,
+// quadtree range queries, approximate quadtree, USEC with line separation,
+// Delaunay triangulation), the reduced-connectivity-query optimization with a
+// lock-free union-find, the bucketing heuristic, and ClusterBorder
+// (Algorithm 4).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pdbscan/internal/geom"
+	"pdbscan/internal/grid"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+	"pdbscan/internal/quadtree"
+	"pdbscan/internal/unionfind"
+)
+
+// MarkStrategy selects how RangeCount queries are answered in MarkCore.
+type MarkStrategy int
+
+const (
+	// MarkScan compares the query point against every point of the
+	// neighboring cell (the theoretically-efficient method of Section 4.3).
+	MarkScan MarkStrategy = iota
+	// MarkQuadtree answers RangeCount with a per-cell quadtree (Section 5.2).
+	MarkQuadtree
+)
+
+// GraphStrategy selects how cell-graph connectivity queries are answered in
+// ClusterCore.
+type GraphStrategy int
+
+const (
+	// GraphBCP computes bichromatic closest pairs with point filtering and
+	// blocked early termination (Section 4.4).
+	GraphBCP GraphStrategy = iota
+	// GraphQuadtree issues exact quadtree range queries from each core point
+	// to the neighboring cell, with early termination (Section 5.2).
+	GraphQuadtree
+	// GraphApprox issues approximate quadtree range queries (approximate
+	// DBSCAN, Sections 5.2 and 6.3). Requires Rho > 0.
+	GraphApprox
+	// GraphUSEC solves unit-spherical emptiness checking with line
+	// separation via circle wavefronts (Section 4.4; 2D only).
+	GraphUSEC
+	// GraphDelaunay builds a Delaunay triangulation of all core points and
+	// keeps inter-cell edges of length at most eps (Section 4.4; 2D only).
+	GraphDelaunay
+)
+
+// Params configures a pipeline run.
+type Params struct {
+	MinPts    int
+	Rho       float64 // approximation parameter (GraphApprox only)
+	Mark      MarkStrategy
+	Graph     GraphStrategy
+	Bucketing bool // process core cells in size-sorted batches (Section 4.4)
+	Buckets   int  // number of batches when Bucketing (default 32)
+}
+
+// Result is the clustering output.
+type Result struct {
+	// Core[i] reports whether point i is a core point.
+	Core []bool
+	// Labels[i] is the cluster of point i in [0, NumClusters), or -1 for
+	// noise. Border points belonging to several clusters get the smallest
+	// label; their full membership is in Border.
+	Labels []int32
+	// Border maps a border point to all clusters it belongs to (ascending),
+	// for the points that belong to more than one.
+	Border map[int32][]int32
+	// NumClusters is the number of clusters found.
+	NumClusters int
+}
+
+// pipeline carries the state between the phases of Algorithm 1.
+type pipeline struct {
+	cells *grid.Cells
+	p     Params
+	eps   float64
+
+	coreFlags []bool
+	corePts   [][]int32 // per cell: indices of its core points
+	coreBBLo  []float64 // per cell: bounding box of its core points
+	coreBBHi  []float64
+	coreCells []int32 // cells with at least one core point
+
+	uf *unionfind.UF
+
+	// Lazy per-cell quadtrees: over all points (MarkCore) and over core
+	// points (ClusterCore); built on first use, guarded by sync.Once.
+	allTrees  []lazyTree
+	coreTrees []lazyTree
+
+	// Lazy per-cell USEC state (2D): core points sorted by x and by y, and
+	// the four directional envelopes.
+	usecCells []usecCell
+}
+
+type lazyTree struct {
+	once sync.Once
+	tree *quadtree.Tree
+}
+
+// Run executes the full pipeline on prepared cells (Neighbors must have been
+// computed).
+func Run(cells *grid.Cells, p Params) (*Result, error) {
+	if cells.Neighbors == nil {
+		return nil, fmt.Errorf("core: cells have no neighbor lists; call a ComputeNeighbors method first")
+	}
+	if p.MinPts < 1 {
+		return nil, fmt.Errorf("core: MinPts must be >= 1, got %d", p.MinPts)
+	}
+	if p.Graph == GraphApprox && p.Rho <= 0 {
+		return nil, fmt.Errorf("core: GraphApprox requires Rho > 0, got %v", p.Rho)
+	}
+	if (p.Graph == GraphUSEC || p.Graph == GraphDelaunay) && cells.Pts.D != 2 {
+		return nil, fmt.Errorf("core: USEC and Delaunay strategies are 2D only (d=%d)", cells.Pts.D)
+	}
+	if p.Buckets <= 0 {
+		p.Buckets = 32
+	}
+	st := &pipeline{cells: cells, p: p, eps: cells.Eps}
+	st.markCore()
+	st.collectCore()
+	st.clusterCore()
+	labels, numClusters := st.coreLabels()
+	border := st.clusterBorder(labels, numClusters)
+	return &Result{
+		Core:        st.coreFlags,
+		Labels:      labels,
+		Border:      border,
+		NumClusters: numClusters,
+	}, nil
+}
+
+// collectCore builds the per-cell core point lists, core bounding boxes, and
+// the list of core cells.
+func (st *pipeline) collectCore() {
+	c := st.cells
+	d := c.Pts.D
+	numCells := c.NumCells()
+	st.corePts = make([][]int32, numCells)
+	st.coreBBLo = make([]float64, numCells*d)
+	st.coreBBHi = make([]float64, numCells*d)
+	parallel.ForGrain(numCells, 1, func(g int) {
+		pts := c.PointsOf(g)
+		var core []int32
+		if c.CellSize(g) >= st.p.MinPts {
+			core = pts // every point is core; alias the cell's slice
+		} else {
+			for _, p := range pts {
+				if st.coreFlags[p] {
+					core = append(core, p)
+				}
+			}
+		}
+		st.corePts[g] = core
+		if len(core) > 0 {
+			lo := st.coreBBLo[g*d : (g+1)*d]
+			hi := st.coreBBHi[g*d : (g+1)*d]
+			copy(lo, c.Pts.At(int(core[0])))
+			copy(hi, c.Pts.At(int(core[0])))
+			for _, p := range core[1:] {
+				row := c.Pts.At(int(p))
+				for j, v := range row {
+					if v < lo[j] {
+						lo[j] = v
+					}
+					if v > hi[j] {
+						hi[j] = v
+					}
+				}
+			}
+		}
+	})
+	st.coreCells = prim.FilterIndex(numCells, func(g int) bool {
+		return len(st.corePts[g]) > 0
+	})
+}
+
+// coreLabels assigns dense cluster labels to core points from the union-find
+// state over cells and returns (labels, numClusters); non-core points get -1.
+func (st *pipeline) coreLabels() ([]int32, int) {
+	c := st.cells
+	numCells := c.NumCells()
+	// Mark the union-find roots of core cells.
+	isRoot := make([]bool, numCells)
+	parallel.For(len(st.coreCells), func(i int) {
+		isRoot[st.uf.Find(st.coreCells[i])] = true
+	})
+	roots := prim.FilterIndex(numCells, func(g int) bool { return isRoot[g] })
+	dense := make([]int32, numCells)
+	parallel.For(len(roots), func(i int) {
+		dense[roots[i]] = int32(i)
+	})
+	labels := make([]int32, c.Pts.N)
+	parallel.For(c.Pts.N, func(i int) {
+		if st.coreFlags[i] {
+			labels[i] = dense[st.uf.Find(c.CellOf[i])]
+		} else {
+			labels[i] = -1
+		}
+	})
+	return labels, len(roots)
+}
+
+// quadtreeRoot returns a cube enclosing cell g's points, suitable as a
+// quadtree root: the grid cube for grid cells, or the squared-up bounding box
+// for box cells (whose extent is at most eps/sqrt(d) by construction, so the
+// approximate depth bound still holds).
+func (st *pipeline) quadtreeRoot(g int) (lo []float64, side float64) {
+	c := st.cells
+	if c.Coords != nil {
+		lo, _ = c.GridCube(g)
+		return lo, c.Side
+	}
+	bbLo, bbHi := c.CellBox(g)
+	lo = make([]float64, c.Pts.D)
+	copy(lo, bbLo)
+	side = 0
+	for j := range bbLo {
+		if e := bbHi[j] - bbLo[j]; e > side {
+			side = e
+		}
+	}
+	if side == 0 {
+		side = math.SmallestNonzeroFloat64
+	}
+	// Slightly inflate so points on the upper face fall strictly inside.
+	side *= 1 + 1e-12
+	return lo, side
+}
+
+// allTree returns (building on first use) the quadtree over all points of
+// cell g, used by MarkQuadtree.
+func (st *pipeline) allTree(g int32) *quadtree.Tree {
+	lt := &st.allTrees[g]
+	lt.once.Do(func() {
+		pts := st.cells.PointsOf(int(g))
+		idx := make([]int32, len(pts))
+		copy(idx, pts)
+		lo, side := st.quadtreeRoot(int(g))
+		lt.tree = quadtree.Build(st.cells.Pts, idx, lo, side, -1)
+	})
+	return lt.tree
+}
+
+// coreTree returns (building on first use) the quadtree over the core points
+// of cell g. maxDepth depends on the graph strategy: exact for GraphQuadtree,
+// capped for GraphApprox.
+func (st *pipeline) coreTree(g int32) *quadtree.Tree {
+	lt := &st.coreTrees[g]
+	lt.once.Do(func() {
+		src := st.corePts[g]
+		idx := make([]int32, len(src))
+		copy(idx, src)
+		lo, side := st.quadtreeRoot(int(g))
+		maxDepth := -1
+		if st.p.Graph == GraphApprox {
+			maxDepth = quadtree.ApproxDepth(st.p.Rho)
+		}
+		lt.tree = quadtree.Build(st.cells.Pts, idx, lo, side, maxDepth)
+	})
+	return lt.tree
+}
+
+// geomAt is a tiny helper for readability.
+func (st *pipeline) at(p int32) []float64 { return st.cells.Pts.At(int(p)) }
+
+// distSq between two points by index.
+func (st *pipeline) distSq(a, b int32) float64 {
+	return geom.DistSq(st.at(a), st.at(b))
+}

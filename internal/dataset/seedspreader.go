@@ -1,0 +1,166 @@
+// Package dataset provides the workload generators the paper's evaluation
+// uses (Section 7): Gan–Tao's seed spreader in similar-density and
+// variable-density modes, the UniformFill hypercube filler, and
+// statistically-shaped simulators for the real datasets the experiments run
+// on (GeoLife, Cosmo50, OpenStreetMap, TeraClickLog, Household) — see the
+// substitution table in DESIGN.md. All generators are deterministic given a
+// seed, so experiments are reproducible.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"pdbscan/internal/geom"
+)
+
+// Domain is the coordinate range of the synthetic generators; Gan–Tao's
+// generator uses [0, 1e5]^d and so do we.
+const Domain = 1e5
+
+// SeedSpreaderConfig parameterizes the seed spreader (Gan–Tao Section 7 /
+// this paper Section 7). A "spreader" performs a random walk, dropping
+// points in a vicinity ball around its position, shifting after every
+// cStep points, and restarting at a random location with probability
+// 10/n per point (so ~10 clusters in expectation). A fraction of noise
+// points is added uniformly at random.
+type SeedSpreaderConfig struct {
+	N         int     // total number of points (including noise)
+	D         int     // dimensionality
+	VarDen    bool    // variable-density clusters (SS-varden) vs similar (SS-simden)
+	Vicinity  float64 // base vicinity radius (default 100)
+	CStep     int     // points per spreader position (default 100)
+	ShiftMul  float64 // shift distance as a multiple of Vicinity (default 0.5)
+	NoiseFrac float64 // fraction of uniform noise points (default 1e-4)
+	Seed      int64
+}
+
+func (c *SeedSpreaderConfig) defaults() {
+	if c.Vicinity <= 0 {
+		c.Vicinity = 100
+	}
+	if c.CStep <= 0 {
+		c.CStep = 100
+	}
+	if c.ShiftMul <= 0 {
+		c.ShiftMul = 0.5
+	}
+	if c.NoiseFrac < 0 {
+		c.NoiseFrac = 0
+	} else if c.NoiseFrac == 0 {
+		c.NoiseFrac = 1e-4
+	}
+}
+
+// SeedSpreader generates the SS-simden / SS-varden datasets.
+func SeedSpreader(cfg SeedSpreaderConfig) geom.Points {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n, d := cfg.N, cfg.D
+	data := make([]float64, 0, n*d)
+
+	noiseCount := int(float64(n) * cfg.NoiseFrac)
+	clusterCount := n - noiseCount
+
+	pos := randomPosition(rng, d)
+	vicinity := cfg.Vicinity
+	densityLevel := 0
+	restartProb := 10.0 / float64(n)
+
+	emitted := 0
+	sincePosChange := 0
+	for emitted < clusterCount {
+		if rng.Float64() < restartProb {
+			pos = randomPosition(rng, d)
+			if cfg.VarDen {
+				// Cycle the vicinity radius across restarts by factors of
+				// 10, producing clusters whose densities differ by orders
+				// of magnitude (the varden regime).
+				densityLevel = (densityLevel + 1) % 3
+				vicinity = cfg.Vicinity * math.Pow(10, float64(densityLevel)/1.5)
+			}
+			sincePosChange = 0
+		}
+		if sincePosChange >= cfg.CStep {
+			// Shift the spreader by a random direction step.
+			step := randomDirection(rng, d)
+			for j := 0; j < d; j++ {
+				pos[j] = clampDomain(pos[j] + step[j]*vicinity*cfg.ShiftMul)
+			}
+			sincePosChange = 0
+		}
+		// Drop a point uniformly in the vicinity ball around pos.
+		p := randomInBall(rng, d, vicinity)
+		for j := 0; j < d; j++ {
+			data = append(data, clampDomain(pos[j]+p[j]))
+		}
+		emitted++
+		sincePosChange++
+	}
+	for i := 0; i < noiseCount; i++ {
+		for j := 0; j < d; j++ {
+			data = append(data, rng.Float64()*Domain)
+		}
+	}
+	return geom.Points{N: n, D: d, Data: data}
+}
+
+// UniformFill generates n points uniformly at random in a hypercube of side
+// sqrt(n), as in Section 7.
+func UniformFill(n, d int, seed int64) geom.Points {
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(float64(n))
+	data := make([]float64, n*d)
+	for i := range data {
+		data[i] = rng.Float64() * side
+	}
+	return geom.Points{N: n, D: d, Data: data}
+}
+
+func randomPosition(rng *rand.Rand, d int) []float64 {
+	p := make([]float64, d)
+	for j := range p {
+		p[j] = rng.Float64() * Domain
+	}
+	return p
+}
+
+// randomDirection returns a uniformly random unit vector.
+func randomDirection(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for {
+		var norm float64
+		for j := range v {
+			v[j] = rng.NormFloat64()
+			norm += v[j] * v[j]
+		}
+		if norm > 1e-12 {
+			norm = math.Sqrt(norm)
+			for j := range v {
+				v[j] /= norm
+			}
+			return v
+		}
+	}
+}
+
+// randomInBall returns a uniform point in the d-ball of radius r.
+func randomInBall(rng *rand.Rand, d int, r float64) []float64 {
+	v := randomDirection(rng, d)
+	// Radius with density proportional to s^(d-1).
+	s := r * math.Pow(rng.Float64(), 1/float64(d))
+	for j := range v {
+		v[j] *= s
+	}
+	return v
+}
+
+func clampDomain(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > Domain {
+		return Domain
+	}
+	return x
+}

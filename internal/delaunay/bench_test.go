@@ -1,0 +1,39 @@
+package delaunay
+
+import "testing"
+
+func BenchmarkTriangulate(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		pts := randomPoints2D(n, 1e4, 1)
+		idx := allIdx(n)
+		b.Run(benchName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				work := make([]int32, len(idx))
+				copy(work, idx)
+				Triangulate(pts, work)
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	if n >= 1000 {
+		return "n=" + itoa(n/1000) + "k"
+	}
+	return "n=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

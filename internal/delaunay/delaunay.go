@@ -1,0 +1,320 @@
+// Package delaunay implements the 2D Delaunay triangulation used by the
+// triangulation-based cell-graph construction (Section 4.4): if a DT edge
+// between core points of two different cells has length at most eps, the two
+// cells are connected.
+//
+// The construction is the randomized incremental Bowyer–Watson algorithm with
+// a history DAG for point location (expected O(n log n) work). The paper uses
+// the batched parallel incremental algorithm from PBBS; here insertion is
+// serial while edge extraction and all downstream use are parallel — a
+// documented substitution (DESIGN.md): the Delaunay variant exists to be
+// compared against BCP/USEC, and the paper itself finds it dominated.
+package delaunay
+
+import (
+	"math/rand"
+
+	"pdbscan/internal/geom"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+)
+
+// Edge is an undirected triangulation edge between point indices U < V.
+type Edge struct {
+	U, V int32
+}
+
+type triangle struct {
+	v        [3]int32 // CCW vertices; >= nReal are super-triangle vertices
+	adj      [3]int32 // adj[k] is across the edge opposite v[k]; -1 if none
+	children []int32
+	alive    bool
+}
+
+type mesh struct {
+	px, py []float64 // coordinates indexed by vertex id (real + 3 super)
+	tris   []triangle
+	root   int32
+	nReal  int32
+}
+
+// Triangulate computes the Delaunay triangulation of the points selected by
+// idx (2D). Exact coordinate duplicates are collapsed to one representative;
+// returned edges reference original point indices with U < V.
+func Triangulate(pts geom.Points, idx []int32) []Edge {
+	if pts.D != 2 {
+		panic("delaunay: requires 2-dimensional points")
+	}
+	// Deduplicate identical coordinates: sort by (x, y) and keep the first of
+	// each run. Duplicates share the representative's cell (equal coords), so
+	// dropping them never loses cell-graph connectivity.
+	uniq := make([]int32, len(idx))
+	copy(uniq, idx)
+	prim.Sort(uniq, func(a, b int32) bool {
+		ax, ay := pts.Data[2*a], pts.Data[2*a+1]
+		bx, by := pts.Data[2*b], pts.Data[2*b+1]
+		if ax != bx {
+			return ax < bx
+		}
+		if ay != by {
+			return ay < by
+		}
+		return a < b
+	})
+	w := 0
+	for i := range uniq {
+		if i == 0 || pts.Data[2*uniq[i]] != pts.Data[2*uniq[i-1]] ||
+			pts.Data[2*uniq[i]+1] != pts.Data[2*uniq[i-1]+1] {
+			uniq[w] = uniq[i]
+			w++
+		}
+	}
+	uniq = uniq[:w]
+	n := len(uniq)
+	if n < 2 {
+		return nil
+	}
+	if n == 2 {
+		u, v := uniq[0], uniq[1]
+		if u > v {
+			u, v = v, u
+		}
+		return []Edge{{u, v}}
+	}
+
+	// Vertex coordinate tables: real vertices first, then the three
+	// super-triangle vertices.
+	m := &mesh{
+		px:    make([]float64, n+3),
+		py:    make([]float64, n+3),
+		nReal: int32(n),
+	}
+	minX, maxX := pts.Data[2*uniq[0]], pts.Data[2*uniq[0]]
+	minY, maxY := pts.Data[2*uniq[0]+1], pts.Data[2*uniq[0]+1]
+	for i, p := range uniq {
+		x, y := pts.Data[2*p], pts.Data[2*p+1]
+		m.px[i], m.py[i] = x, y
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	r := maxX - minX
+	if dy := maxY - minY; dy > r {
+		r = dy
+	}
+	if r == 0 {
+		r = 1
+	}
+	// Super-triangle vertices far enough out that their circumcircles never
+	// exclude valid real-point triangles near the hull.
+	big := r * 1e5
+	m.px[n], m.py[n] = cx-2*big, cy-big
+	m.px[n+1], m.py[n+1] = cx+2*big, cy-big
+	m.px[n+2], m.py[n+2] = cx, cy+2*big
+	m.tris = append(m.tris, triangle{
+		v:     [3]int32{int32(n), int32(n + 1), int32(n + 2)},
+		adj:   [3]int32{-1, -1, -1},
+		alive: true,
+	})
+	m.root = 0
+
+	// Random insertion order (deterministic seed for reproducibility).
+	perm := rand.New(rand.NewSource(0x5eed)).Perm(n)
+	for _, vi := range perm {
+		m.insert(int32(vi))
+	}
+
+	// Collect edges of alive triangles with no super vertices, mapped back to
+	// original indices, deduplicated.
+	var edges []Edge
+	seen := make(map[Edge]bool)
+	for ti := range m.tris {
+		t := &m.tris[ti]
+		if !t.alive {
+			continue
+		}
+		for k := 0; k < 3; k++ {
+			a, b := t.v[k], t.v[(k+1)%3]
+			if a >= m.nReal || b >= m.nReal {
+				continue
+			}
+			u, v := uniq[a], uniq[b]
+			if u > v {
+				u, v = v, u
+			}
+			e := Edge{u, v}
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	return edges
+}
+
+// orient returns twice the signed area of (a, b, c): > 0 if CCW.
+func (m *mesh) orient(a, b, c int32) float64 {
+	return (m.px[b]-m.px[a])*(m.py[c]-m.py[a]) - (m.py[b]-m.py[a])*(m.px[c]-m.px[a])
+}
+
+// inCircumcircle reports whether vertex p lies strictly inside the
+// circumcircle of the CCW triangle t.
+func (m *mesh) inCircumcircle(t *triangle, p int32) bool {
+	ax, ay := m.px[t.v[0]]-m.px[p], m.py[t.v[0]]-m.py[p]
+	bx, by := m.px[t.v[1]]-m.px[p], m.py[t.v[1]]-m.py[p]
+	cx, cy := m.px[t.v[2]]-m.px[p], m.py[t.v[2]]-m.py[p]
+	a2 := ax*ax + ay*ay
+	b2 := bx*bx + by*by
+	c2 := cx*cx + cy*cy
+	det := ax*(by*c2-b2*cy) - ay*(bx*c2-b2*cx) + a2*(bx*cy-by*cx)
+	return det > 0
+}
+
+// insideScore returns the minimum edge orientation of p against triangle ti;
+// >= 0 means p is inside or on the boundary.
+func (m *mesh) insideScore(ti, p int32) float64 {
+	t := &m.tris[ti]
+	s := m.orient(t.v[0], t.v[1], p)
+	if v := m.orient(t.v[1], t.v[2], p); v < s {
+		s = v
+	}
+	if v := m.orient(t.v[2], t.v[0], p); v < s {
+		s = v
+	}
+	return s
+}
+
+// locate walks the history DAG to a leaf triangle containing p.
+func (m *mesh) locate(p int32) int32 {
+	cur := m.root
+	for len(m.tris[cur].children) > 0 {
+		best := int32(-1)
+		bestScore := 0.0
+		for _, ch := range m.tris[cur].children {
+			s := m.insideScore(ch, p)
+			if best == -1 || s > bestScore {
+				best, bestScore = ch, s
+			}
+			if s >= 0 {
+				best, bestScore = ch, s
+				break
+			}
+		}
+		cur = best
+	}
+	return cur
+}
+
+// insert adds vertex p to the triangulation (Bowyer–Watson cavity step).
+func (m *mesh) insert(p int32) {
+	start := m.locate(p)
+	// Cavity: BFS over adjacent triangles whose circumcircle contains p.
+	inCavity := map[int32]bool{start: true}
+	stack := []int32{start}
+	var cavity []int32
+	for len(stack) > 0 {
+		ti := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cavity = append(cavity, ti)
+		for k := 0; k < 3; k++ {
+			nb := m.tris[ti].adj[k]
+			if nb < 0 || inCavity[nb] {
+				continue
+			}
+			if m.inCircumcircle(&m.tris[nb], p) {
+				inCavity[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	// Boundary edges: for each cavity triangle, the edges whose neighbor is
+	// outside the cavity.
+	type boundaryEdge struct {
+		a, b  int32 // directed so that (a, b, p) is CCW
+		outer int32 // triangle across (a, b), or -1
+	}
+	var boundary []boundaryEdge
+	for _, ti := range cavity {
+		t := &m.tris[ti]
+		for k := 0; k < 3; k++ {
+			nb := t.adj[k]
+			if nb >= 0 && inCavity[nb] {
+				continue
+			}
+			a, b := t.v[(k+1)%3], t.v[(k+2)%3]
+			boundary = append(boundary, boundaryEdge{a: a, b: b, outer: nb})
+		}
+	}
+	// Retriangulate the cavity as a fan around p.
+	newTris := make([]int32, len(boundary))
+	fromA := make(map[int32]int32, len(boundary)) // boundary-edge start vertex -> new triangle
+	fromB := make(map[int32]int32, len(boundary))
+	for i, be := range boundary {
+		ti := int32(len(m.tris))
+		m.tris = append(m.tris, triangle{
+			v:     [3]int32{be.a, be.b, p},
+			adj:   [3]int32{-1, -1, be.outer},
+			alive: true,
+		})
+		newTris[i] = ti
+		fromA[be.a] = ti
+		fromB[be.b] = ti
+		// Fix the outer triangle's adjacency to point at the new triangle.
+		if be.outer >= 0 {
+			o := &m.tris[be.outer]
+			for k := 0; k < 3; k++ {
+				oa, ob := o.v[(k+1)%3], o.v[(k+2)%3]
+				if oa == be.b && ob == be.a {
+					o.adj[k] = ti
+					break
+				}
+			}
+		}
+	}
+	// Adjacency between consecutive fan triangles: triangle with edge (p, a)
+	// meets the triangle whose boundary edge ends at a (b' == a), and vice
+	// versa.
+	for i, be := range boundary {
+		ti := newTris[i]
+		t := &m.tris[ti]
+		// adj[1] is across edge (p, a) == opposite vertex b.
+		t.adj[1] = fromB[be.a]
+		// adj[0] is across edge (b, p) == opposite vertex a.
+		t.adj[0] = fromA[be.b]
+	}
+	// Kill cavity triangles and register history children.
+	for _, ti := range cavity {
+		t := &m.tris[ti]
+		t.alive = false
+		t.children = append(t.children, newTris...)
+	}
+}
+
+// FilterCellEdges keeps the triangulation edges that cross between two
+// different cells and have length at most eps — the parallel filter that
+// turns the DT into cell-graph edges (Section 4.4).
+func FilterCellEdges(edges []Edge, pts geom.Points, cellOf []int32, eps float64) []Edge {
+	eps2 := eps * eps
+	kept := prim.Filter(edges, func(e Edge) bool {
+		if cellOf[e.U] == cellOf[e.V] {
+			return false
+		}
+		return geom.DistSq(pts.At(int(e.U)), pts.At(int(e.V))) <= eps2
+	})
+	// Map to cell ids in parallel.
+	out := make([]Edge, len(kept))
+	parallel.For(len(kept), func(i int) {
+		out[i] = Edge{U: cellOf[kept[i].U], V: cellOf[kept[i].V]}
+	})
+	return out
+}

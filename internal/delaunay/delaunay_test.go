@@ -1,0 +1,263 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pdbscan/internal/geom"
+)
+
+func randomPoints2D(n int, scale float64, seed int64) geom.Points {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n*2)
+	for i := range data {
+		data[i] = rng.Float64() * scale
+	}
+	return geom.Points{N: n, D: 2, Data: data}
+}
+
+func allIdx(n int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return idx
+}
+
+// isDelaunayEdge brute-forces the Delaunay edge characterization: (u, v) is
+// a Delaunay edge iff some circle through u and v is empty of other points.
+// For points in general position it suffices to check circumcircles through
+// every third point plus the diametral circle.
+func isDelaunayEdge(pts geom.Points, u, v int) bool {
+	ux, uy := pts.At(u)[0], pts.At(u)[1]
+	vx, vy := pts.At(v)[0], pts.At(v)[1]
+	// Diametral circle.
+	cx, cy := (ux+vx)/2, (uy+vy)/2
+	r2 := ((ux-vx)*(ux-vx) + (uy-vy)*(uy-vy)) / 4
+	empty := true
+	for w := 0; w < pts.N; w++ {
+		if w == u || w == v {
+			continue
+		}
+		wx, wy := pts.At(w)[0], pts.At(w)[1]
+		if (wx-cx)*(wx-cx)+(wy-cy)*(wy-cy) < r2-1e-12 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return true
+	}
+	// Circumcircles through each candidate third point.
+	for w := 0; w < pts.N; w++ {
+		if w == u || w == v {
+			continue
+		}
+		wx, wy := pts.At(w)[0], pts.At(w)[1]
+		// Circumcenter of (u, v, w).
+		d := 2 * (ux*(vy-wy) + vx*(wy-uy) + wx*(uy-vy))
+		if math.Abs(d) < 1e-12 {
+			continue // collinear
+		}
+		cx := ((ux*ux+uy*uy)*(vy-wy) + (vx*vx+vy*vy)*(wy-uy) + (wx*wx+wy*wy)*(uy-vy)) / d
+		cy := ((ux*ux+uy*uy)*(wx-vx) + (vx*vx+vy*vy)*(ux-wx) + (wx*wx+wy*wy)*(vx-ux)) / d
+		r2 := (ux-cx)*(ux-cx) + (uy-cy)*(uy-cy)
+		ok := true
+		for z := 0; z < pts.N; z++ {
+			if z == u || z == v || z == w {
+				continue
+			}
+			zx, zy := pts.At(z)[0], pts.At(z)[1]
+			if (zx-cx)*(zx-cx)+(zy-cy)*(zy-cy) < r2-1e-9 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTriangulationMatchesBruteForce(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		pts := randomPoints2D(40, 100, seed)
+		edges := Triangulate(pts, allIdx(pts.N))
+		got := map[[2]int32]bool{}
+		for _, e := range edges {
+			got[[2]int32{e.U, e.V}] = true
+		}
+		for u := 0; u < pts.N; u++ {
+			for v := u + 1; v < pts.N; v++ {
+				want := isDelaunayEdge(pts, u, v)
+				if got[[2]int32{int32(u), int32(v)}] != want {
+					t.Fatalf("seed %d: edge (%d,%d) in DT = %v, brute force = %v",
+						seed, u, v, got[[2]int32{int32(u), int32(v)}], want)
+				}
+			}
+		}
+	}
+}
+
+// convexHullSize computes the hull size with Andrew's monotone chain.
+func convexHullSize(pts geom.Points) int {
+	n := pts.N
+	idx := allIdx(n)
+	// sort by (x, y)
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 {
+			a, b := idx[j], idx[j-1]
+			if pts.At(int(a))[0] < pts.At(int(b))[0] ||
+				(pts.At(int(a))[0] == pts.At(int(b))[0] && pts.At(int(a))[1] < pts.At(int(b))[1]) {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+				j--
+			} else {
+				break
+			}
+		}
+	}
+	cross := func(o, a, b int32) float64 {
+		ox, oy := pts.At(int(o))[0], pts.At(int(o))[1]
+		ax, ay := pts.At(int(a))[0], pts.At(int(a))[1]
+		bx, by := pts.At(int(b))[0], pts.At(int(b))[1]
+		return (ax-ox)*(by-oy) - (ay-oy)*(bx-ox)
+	}
+	var hull []int32
+	for _, p := range idx {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	lower := len(hull)
+	hull = hull[:len(hull):len(hull)]
+	upper := []int32{}
+	for i := n - 1; i >= 0; i-- {
+		p := idx[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	return lower + len(upper) - 2
+}
+
+func TestEdgeCountFormula(t *testing.T) {
+	// For a triangulation of n points with h hull points (general position):
+	// E = 3n - 3 - h.
+	for _, n := range []int{10, 50, 200} {
+		pts := randomPoints2D(n, 1000, int64(n))
+		edges := Triangulate(pts, allIdx(n))
+		h := convexHullSize(pts)
+		want := 3*n - 3 - h
+		if len(edges) != want {
+			t.Fatalf("n=%d h=%d: %d edges, want %d", n, h, len(edges), want)
+		}
+	}
+}
+
+func TestNearestNeighborEdgesPresent(t *testing.T) {
+	// The nearest-neighbor graph is a subgraph of the DT.
+	pts := randomPoints2D(300, 100, 77)
+	edges := Triangulate(pts, allIdx(pts.N))
+	have := map[[2]int32]bool{}
+	for _, e := range edges {
+		have[[2]int32{e.U, e.V}] = true
+	}
+	for u := 0; u < pts.N; u++ {
+		best, bestD := -1, math.Inf(1)
+		for v := 0; v < pts.N; v++ {
+			if v == u {
+				continue
+			}
+			if d := geom.DistSq(pts.At(u), pts.At(v)); d < bestD {
+				best, bestD = v, d
+			}
+		}
+		a, b := int32(u), int32(best)
+		if a > b {
+			a, b = b, a
+		}
+		if !have[[2]int32{a, b}] {
+			t.Fatalf("nearest-neighbor edge (%d,%d) missing from DT", a, b)
+		}
+	}
+}
+
+func TestSmallInputs(t *testing.T) {
+	if edges := Triangulate(geom.Points{N: 1, D: 2, Data: []float64{0, 0}}, []int32{0}); edges != nil {
+		t.Fatalf("1 point: edges = %v", edges)
+	}
+	two, _ := geom.FromRows([][]float64{{0, 0}, {1, 1}})
+	edges := Triangulate(two, allIdx(2))
+	if len(edges) != 1 || edges[0] != (Edge{0, 1}) {
+		t.Fatalf("2 points: edges = %v", edges)
+	}
+	three, _ := geom.FromRows([][]float64{{0, 0}, {1, 0}, {0, 1}})
+	edges = Triangulate(three, allIdx(3))
+	if len(edges) != 3 {
+		t.Fatalf("3 points: %d edges, want 3", len(edges))
+	}
+}
+
+func TestDuplicateCoordinatesCollapsed(t *testing.T) {
+	rows := [][]float64{{0, 0}, {1, 0}, {0, 1}, {0, 0}, {1, 0}}
+	pts, _ := geom.FromRows(rows)
+	edges := Triangulate(pts, allIdx(5))
+	if len(edges) != 3 {
+		t.Fatalf("duplicates: %d edges, want 3", len(edges))
+	}
+	for _, e := range edges {
+		if e.U > 2 || e.V > 2 {
+			t.Fatalf("edge references duplicate point: %v", e)
+		}
+	}
+}
+
+func TestSubsetTriangulation(t *testing.T) {
+	pts := randomPoints2D(100, 50, 5)
+	idx := []int32{}
+	for i := 0; i < 100; i += 3 {
+		idx = append(idx, int32(i))
+	}
+	edges := Triangulate(pts, idx)
+	sel := map[int32]bool{}
+	for _, i := range idx {
+		sel[i] = true
+	}
+	for _, e := range edges {
+		if !sel[e.U] || !sel[e.V] {
+			t.Fatalf("edge %v uses point outside the subset", e)
+		}
+	}
+}
+
+func TestFilterCellEdges(t *testing.T) {
+	pts, _ := geom.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}, {0.5, 0.5}})
+	cellOf := []int32{0, 1, 2, 0}
+	edges := []Edge{{0, 1}, {1, 2}, {0, 3}, {1, 3}}
+	out := FilterCellEdges(edges, pts, cellOf, 2.0)
+	// (0,1): cells 0-1, dist 1 <= 2: kept. (1,2): dist 9 > 2: dropped.
+	// (0,3): same cell: dropped. (1,3): cells 1-0, dist ~0.7: kept.
+	if len(out) != 2 {
+		t.Fatalf("filtered edges = %v", out)
+	}
+	if out[0].U != 0 || out[0].V != 1 {
+		t.Fatalf("first cell edge = %v", out[0])
+	}
+	if out[1].U != 1 || out[1].V != 0 {
+		t.Fatalf("second cell edge = %v", out[1])
+	}
+}
+
+func TestLargeTriangulationSane(t *testing.T) {
+	n := 5000
+	pts := randomPoints2D(n, 1e4, 99)
+	edges := Triangulate(pts, allIdx(n))
+	if len(edges) < 2*n || len(edges) > 3*n {
+		t.Fatalf("edge count %d outside sane range for n=%d", len(edges), n)
+	}
+}

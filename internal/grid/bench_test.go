@@ -1,0 +1,49 @@
+package grid
+
+import (
+	"testing"
+)
+
+func BenchmarkBuildGrid2D(b *testing.B) {
+	pts := randomPoints(100000, 2, 1000, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildGrid(pts, 25)
+	}
+}
+
+func BenchmarkBuildGrid5D(b *testing.B) {
+	pts := randomPoints(100000, 5, 1000, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildGrid(pts, 100)
+	}
+}
+
+func BenchmarkBuildBox2D(b *testing.B) {
+	pts := randomPoints(100000, 2, 1000, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildBox2D(pts, 25)
+	}
+}
+
+func BenchmarkNeighborsEnum2D(b *testing.B) {
+	pts := randomPoints(100000, 2, 1000, 42)
+	c := BuildGrid(pts, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ComputeNeighborsEnum()
+	}
+}
+
+func BenchmarkNeighborsKD5D(b *testing.B) {
+	pts := randomPoints(100000, 5, 1000, 42)
+	c := BuildGrid(pts, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ComputeNeighborsKD()
+	}
+}

@@ -1,0 +1,423 @@
+// Package grid implements the cell constructions of Sections 4.1 and 4.2:
+// the grid method (semisort points by cell key, store non-empty cells in a
+// concurrent hash table) and the 2D box method (strips via sorting + pointer
+// jumping). Both produce the same Cells representation, which is what every
+// downstream phase (MarkCore, ClusterCore, ClusterBorder) consumes.
+package grid
+
+import (
+	"math"
+	"slices"
+	"sync/atomic"
+
+	"pdbscan/internal/geom"
+	"pdbscan/internal/kdtree"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+)
+
+// Cells is a partition of the input points into disjoint cells of diameter at
+// most eps. Points are grouped by cell in Order; cell g owns
+// Order[CellStart[g]:CellStart[g+1]].
+type Cells struct {
+	Pts    geom.Points
+	Eps    float64
+	Side   float64   // cell side length, eps/sqrt(d) (grid); max strip width (box)
+	Origin []float64 // min corner of the point set (grid); unused for box
+
+	Order     []int32 // point indices grouped by cell
+	CellStart []int32 // len NumCells()+1, offsets into Order
+	CellOf    []int32 // cell index of each point
+
+	// BBLo/BBHi are the actual bounding boxes of the points in each cell
+	// (C*d, row-major). Used for BCP filtering, USEC line selection, and
+	// kd-tree neighbor queries.
+	BBLo, BBHi []float64
+
+	// Coords are the integer grid coordinates of each cell (C*d, row-major).
+	// Nil for the box construction.
+	Coords []int32
+
+	// StripCellStart, for the box construction, gives the range of cell
+	// indices belonging to each strip (len numStrips+1). Nil for grid.
+	StripCellStart []int32
+
+	table *cellTable // grid only: coords -> cell index
+
+	// Neighbors[g] lists the cells that could contain points within eps of
+	// cell g (excluding g itself), in increasing index order. Filled by one
+	// of the ComputeNeighbors* methods.
+	Neighbors [][]int32
+}
+
+// NumCells returns the number of non-empty cells.
+func (c *Cells) NumCells() int { return len(c.CellStart) - 1 }
+
+// CellSize returns the number of points in cell g.
+func (c *Cells) CellSize(g int) int {
+	return int(c.CellStart[g+1] - c.CellStart[g])
+}
+
+// PointsOf returns the point indices in cell g (a view; do not mutate).
+func (c *Cells) PointsOf(g int) []int32 {
+	return c.Order[c.CellStart[g]:c.CellStart[g+1]]
+}
+
+// CellBox returns the actual bounding box of the points in cell g as views.
+func (c *Cells) CellBox(g int) (lo, hi []float64) {
+	d := c.Pts.D
+	return c.BBLo[g*d : (g+1)*d], c.BBHi[g*d : (g+1)*d]
+}
+
+// GridCube returns the geometric cube of grid cell g (grid construction
+// only). The quadtree of Section 5.2 is rooted at this cube so that the
+// approximate depth bound holds.
+func (c *Cells) GridCube(g int) (lo, hi []float64) {
+	d := c.Pts.D
+	lo = make([]float64, d)
+	hi = make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo[j] = c.Origin[j] + float64(c.Coords[g*d+j])*c.Side
+		hi[j] = lo[j] + c.Side
+	}
+	return lo, hi
+}
+
+// coordHash mixes a cell's integer coordinates into a 64-bit hash. Distinct
+// coordinates may collide (the grouping and table code always confirm with a
+// full coordinate comparison).
+func coordHash(coords []int32) uint64 {
+	h := uint64(0x51_7c_c1_b7_27_22_0a_95)
+	for _, v := range coords {
+		h = prim.Mix64(h ^ uint64(uint32(v)))
+	}
+	return h
+}
+
+func coordsEqual(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func coordsLess(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// BuildGrid assigns the points to grid cells of side eps/sqrt(d)
+// (Section 4.1): compute each point's cell coordinates, semisort the points
+// by cell key, and insert the non-empty cells into a concurrent hash table.
+// Expected O(n) work.
+func BuildGrid(pts geom.Points, eps float64) *Cells {
+	n, d := pts.N, pts.D
+	side := eps / math.Sqrt(float64(d))
+	origin := parBoundsLo(pts)
+
+	// Integer cell coordinates and their hashes, per point.
+	coords := make([]int32, n*d)
+	hashes := make([]uint64, n)
+	order := make([]int32, n)
+	parallel.For(n, func(i int) {
+		row := pts.At(i)
+		c := coords[i*d : (i+1)*d]
+		for j, v := range row {
+			c[j] = int32(math.Floor((v - origin[j]) / side))
+		}
+		hashes[i] = coordHash(c) & 0xffffffff
+		order[i] = int32(i)
+	})
+
+	// Semisort by cell: radix sort on the 32-bit coordinate hash, then split
+	// equal-hash runs by true coordinates (runs are O(1) expected length).
+	prim.RadixSortPairs(hashes, order, 32)
+	fixCoordRuns(hashes, order, coords, d)
+
+	coordsOf := func(i int32) []int32 { return coords[int(i)*d : (int(i)+1)*d] }
+	starts := prim.FilterIndex(n, func(i int) bool {
+		if i == 0 {
+			return true
+		}
+		return !coordsEqual(coordsOf(order[i]), coordsOf(order[i-1]))
+	})
+	numCells := len(starts)
+	cellStart := make([]int32, numCells+1)
+	copy(cellStart, starts)
+	cellStart[numCells] = int32(n)
+
+	c := &Cells{
+		Pts:       pts,
+		Eps:       eps,
+		Side:      side,
+		Origin:    origin,
+		Order:     order,
+		CellStart: cellStart,
+		CellOf:    make([]int32, n),
+		BBLo:      make([]float64, numCells*d),
+		BBHi:      make([]float64, numCells*d),
+		Coords:    make([]int32, numCells*d),
+	}
+	c.table = newCellTable(numCells, c)
+
+	parallel.ForGrain(numCells, 1, func(g int) {
+		lo, hi := int(cellStart[g]), int(cellStart[g+1])
+		rep := coordsOf(order[lo])
+		copy(c.Coords[g*d:(g+1)*d], rep)
+		bbLo := c.BBLo[g*d : (g+1)*d]
+		bbHi := c.BBHi[g*d : (g+1)*d]
+		copy(bbLo, pts.At(int(order[lo])))
+		copy(bbHi, pts.At(int(order[lo])))
+		for i := lo; i < hi; i++ {
+			p := order[i]
+			c.CellOf[p] = int32(g)
+			row := pts.At(int(p))
+			for j, v := range row {
+				if v < bbLo[j] {
+					bbLo[j] = v
+				}
+				if v > bbHi[j] {
+					bbHi[j] = v
+				}
+			}
+		}
+		c.table.insert(int32(g))
+	})
+	return c
+}
+
+// fixCoordRuns makes equal coordinates contiguous within runs of equal hash
+// (rare 32-bit collisions), by sorting each run lexicographically by coords.
+func fixCoordRuns(hashes []uint64, order []int32, coords []int32, d int) {
+	n := len(hashes)
+	heads := prim.FilterIndex(n, func(i int) bool {
+		return (i == 0 || hashes[i] != hashes[i-1]) &&
+			i+1 < n && hashes[i+1] == hashes[i]
+	})
+	co := func(i int32) []int32 { return coords[int(i)*d : (int(i)+1)*d] }
+	parallel.ForGrain(len(heads), 1, func(h int) {
+		lo := int(heads[h])
+		hi := lo + 1
+		for hi < n && hashes[hi] == hashes[lo] {
+			hi++
+		}
+		run := order[lo:hi]
+		for i := 1; i < len(run); i++ {
+			j := i
+			for j > 0 && coordsLess(co(run[j]), co(run[j-1])) {
+				run[j], run[j-1] = run[j-1], run[j]
+				j--
+			}
+		}
+	})
+}
+
+// parBoundsLo computes the coordinate-wise minimum of the points in parallel.
+func parBoundsLo(pts geom.Points) []float64 {
+	d := pts.D
+	nb := parallel.NumBlocks(pts.N, 0)
+	partial := make([][]float64, nb)
+	parallel.BlockedForIdx(pts.N, 0, func(b, lo, hi int) {
+		m := make([]float64, d)
+		copy(m, pts.At(lo))
+		for i := lo + 1; i < hi; i++ {
+			row := pts.At(i)
+			for j, v := range row {
+				if v < m[j] {
+					m[j] = v
+				}
+			}
+		}
+		partial[b] = m
+	})
+	m := partial[0]
+	for _, pm := range partial[1:] {
+		for j, v := range pm {
+			if v < m[j] {
+				m[j] = v
+			}
+		}
+	}
+	return m
+}
+
+// cellTable maps cell coordinates to cell indices with the concurrent
+// linear-probing scheme of internal/hashtable, but keyed on full coordinate
+// vectors (compared exactly on lookup).
+type cellTable struct {
+	cells *Cells
+	slots []int32 // cell index + 1; 0 = empty
+	mask  uint64
+}
+
+func newCellTable(n int, cells *Cells) *cellTable {
+	capacity := 16
+	for capacity < 2*n {
+		capacity <<= 1
+	}
+	return &cellTable{
+		cells: cells,
+		slots: make([]int32, capacity),
+		mask:  uint64(capacity - 1),
+	}
+}
+
+func (t *cellTable) insert(g int32) {
+	d := t.cells.Pts.D
+	co := t.cells.Coords[int(g)*d : (int(g)+1)*d]
+	i := coordHash(co) & t.mask
+	for {
+		if atomic.LoadInt32(&t.slots[i]) == 0 &&
+			atomic.CompareAndSwapInt32(&t.slots[i], 0, g+1) {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// lookup returns the index of the cell with the given coordinates, or -1.
+func (t *cellTable) lookup(co []int32) int32 {
+	d := t.cells.Pts.D
+	i := coordHash(co) & t.mask
+	for {
+		s := atomic.LoadInt32(&t.slots[i])
+		if s == 0 {
+			return -1
+		}
+		g := s - 1
+		if coordsEqual(t.cells.Coords[int(g)*d:(int(g)+1)*d], co) {
+			return g
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// ComputeNeighborsEnum fills Neighbors by enumerating all integer coordinate
+// offsets within ceil(sqrt(d)) per axis and looking each one up in the cell
+// hash table — the constant-work-per-cell method the 2D algorithms use
+// (Section 4.1). Only valid for the grid construction.
+func (c *Cells) ComputeNeighborsEnum() {
+	d := c.Pts.D
+	m := int(math.Ceil(math.Sqrt(float64(d))))
+	numCells := c.NumCells()
+	c.Neighbors = make([][]int32, numCells)
+	eps2 := c.Eps * c.Eps * (1 + 1e-12)
+	// Loose pruning bound for the offset recursion; the final decision uses
+	// the exact cube-distance test shared with ComputeNeighborsKD so that
+	// both methods return identical neighbor sets.
+	pruneBound := eps2 * (1 + 1e-9)
+	parallel.ForGrain(numCells, 1, func(g int) {
+		base := c.Coords[g*d : (g+1)*d]
+		var nbrs []int32
+		off := make([]int32, d)
+		probe := make([]int32, d)
+		gLo := make([]float64, d)
+		gHi := make([]float64, d)
+		hLo := make([]float64, d)
+		hHi := make([]float64, d)
+		c.cubeInto(g, gLo, gHi)
+		var rec func(j int, dist2 float64)
+		rec = func(j int, dist2 float64) {
+			if dist2 > pruneBound {
+				return
+			}
+			if j == d {
+				allZero := true
+				for _, o := range off {
+					if o != 0 {
+						allZero = false
+						break
+					}
+				}
+				if allZero {
+					return
+				}
+				for k := 0; k < d; k++ {
+					probe[k] = base[k] + off[k]
+				}
+				if h := c.table.lookup(probe); h >= 0 {
+					c.cubeInto(int(h), hLo, hHi)
+					if geom.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
+						nbrs = append(nbrs, h)
+					}
+				}
+				return
+			}
+			for o := -m; o <= m; o++ {
+				// Minimum axis gap between cells offset by o cells.
+				gap := 0.0
+				if o > 0 {
+					gap = float64(o-1) * c.Side
+				} else if o < 0 {
+					gap = float64(-o-1) * c.Side
+				}
+				off[j] = int32(o)
+				rec(j+1, dist2+gap*gap)
+			}
+			off[j] = 0
+		}
+		rec(0, 0)
+		sortNeighbors(nbrs)
+		c.Neighbors[g] = nbrs
+	})
+}
+
+// ComputeNeighborsKD fills Neighbors using a k-d tree over the cell cube
+// centers (Section 5.1), which avoids enumerating the exponentially many
+// candidate offsets in higher dimensions. Only valid for the grid
+// construction.
+func (c *Cells) ComputeNeighborsKD() {
+	d := c.Pts.D
+	numCells := c.NumCells()
+	centers := geom.Points{N: numCells, D: d, Data: make([]float64, numCells*d)}
+	parallel.For(numCells, func(g int) {
+		row := centers.Data[g*d : (g+1)*d]
+		for j := 0; j < d; j++ {
+			row[j] = c.Origin[j] + (float64(c.Coords[g*d+j])+0.5)*c.Side
+		}
+	})
+	tree := kdtree.Build(centers)
+	// Two cells can contain points within eps iff their cubes are within
+	// eps; center distance is at most cube distance + side*sqrt(d).
+	radius := c.Eps + c.Side*math.Sqrt(float64(d)) + 1e-9
+	eps2 := c.Eps * c.Eps * (1 + 1e-12)
+	c.Neighbors = make([][]int32, numCells)
+	parallel.ForGrain(numCells, 1, func(g int) {
+		cand := tree.RangeQuery(centers.At(g), radius, nil)
+		gLo := make([]float64, d)
+		gHi := make([]float64, d)
+		hLo := make([]float64, d)
+		hHi := make([]float64, d)
+		c.cubeInto(g, gLo, gHi)
+		nbrs := cand[:0]
+		for _, h := range cand {
+			if int(h) == g {
+				continue
+			}
+			c.cubeInto(int(h), hLo, hHi)
+			if geom.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
+				nbrs = append(nbrs, h)
+			}
+		}
+		sortNeighbors(nbrs)
+		c.Neighbors[g] = nbrs
+	})
+}
+
+func (c *Cells) cubeInto(g int, lo, hi []float64) {
+	d := c.Pts.D
+	for j := 0; j < d; j++ {
+		lo[j] = c.Origin[j] + float64(c.Coords[g*d+j])*c.Side
+		hi[j] = lo[j] + c.Side
+	}
+}
+
+func sortNeighbors(a []int32) {
+	slices.Sort(a)
+}

@@ -1,0 +1,305 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pdbscan/internal/geom"
+)
+
+func randomPoints(n, d int, scale float64, seed int64) geom.Points {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n*d)
+	for i := range data {
+		data[i] = rng.Float64() * scale
+	}
+	return geom.Points{N: n, D: d, Data: data}
+}
+
+// checkPartition verifies the cell structure invariants shared by both
+// constructions.
+func checkPartition(t *testing.T, c *Cells) {
+	t.Helper()
+	n := c.Pts.N
+	if len(c.Order) != n || len(c.CellOf) != n {
+		t.Fatalf("order/cellOf length mismatch")
+	}
+	seen := make([]bool, n)
+	for g := 0; g < c.NumCells(); g++ {
+		for _, p := range c.PointsOf(g) {
+			if seen[p] {
+				t.Fatalf("point %d in two cells", p)
+			}
+			seen[p] = true
+			if c.CellOf[p] != int32(g) {
+				t.Fatalf("CellOf[%d] = %d, want %d", p, c.CellOf[p], g)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d in no cell", i)
+		}
+	}
+	// Cell diameter must be at most eps (the defining cell property).
+	for g := 0; g < c.NumCells(); g++ {
+		lo, hi := c.CellBox(g)
+		var diag float64
+		for j := range lo {
+			d := hi[j] - lo[j]
+			diag += d * d
+		}
+		if diag > c.Eps*c.Eps*(1+1e-9) {
+			t.Fatalf("cell %d diameter %v exceeds eps %v", g, math.Sqrt(diag), c.Eps)
+		}
+		// Bounding boxes must actually bound the points.
+		for _, p := range c.PointsOf(g) {
+			row := c.Pts.At(int(p))
+			for j, v := range row {
+				if v < lo[j]-1e-12 || v > hi[j]+1e-12 {
+					t.Fatalf("cell %d: point %d outside bbox", g, p)
+				}
+			}
+		}
+	}
+}
+
+// checkNeighbors verifies that Neighbors is a superset of the pairs of cells
+// that contain points within eps of each other, and excludes self.
+func checkNeighbors(t *testing.T, c *Cells) {
+	t.Helper()
+	eps2 := c.Eps * c.Eps
+	isNbr := make([]map[int32]bool, c.NumCells())
+	for g := range isNbr {
+		isNbr[g] = map[int32]bool{}
+		for _, h := range c.Neighbors[g] {
+			if int(h) == g {
+				t.Fatalf("cell %d lists itself as neighbor", g)
+			}
+			isNbr[g][h] = true
+		}
+	}
+	// Brute force point pairs (test sizes are small).
+	for i := 0; i < c.Pts.N; i++ {
+		for j := i + 1; j < c.Pts.N; j++ {
+			if geom.DistSq(c.Pts.At(i), c.Pts.At(j)) <= eps2 {
+				gi, gj := c.CellOf[i], c.CellOf[j]
+				if gi == gj {
+					continue
+				}
+				if !isNbr[gi][gj] || !isNbr[gj][gi] {
+					t.Fatalf("cells %d and %d have points within eps but are not neighbors", gi, gj)
+				}
+			}
+		}
+	}
+	// Symmetry.
+	for g := range isNbr {
+		for h := range isNbr[g] {
+			if !isNbr[h][int32(g)] {
+				t.Fatalf("neighbor relation not symmetric: %d -> %d", g, h)
+			}
+		}
+	}
+}
+
+func TestBuildGrid2D(t *testing.T) {
+	pts := randomPoints(2000, 2, 100, 1)
+	c := BuildGrid(pts, 5.0)
+	checkPartition(t, c)
+	if math.Abs(c.Side-5.0/math.Sqrt2) > 1e-12 {
+		t.Fatalf("side = %v", c.Side)
+	}
+	c.ComputeNeighborsEnum()
+	checkNeighbors(t, c)
+}
+
+func TestBuildGridHighDim(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		pts := randomPoints(1000, d, 50, int64(d))
+		c := BuildGrid(pts, 12.0)
+		checkPartition(t, c)
+		c.ComputeNeighborsKD()
+		checkNeighbors(t, c)
+	}
+}
+
+func TestGridEnumAndKDAgree(t *testing.T) {
+	pts := randomPoints(1500, 3, 60, 7)
+	c1 := BuildGrid(pts, 8.0)
+	c1.ComputeNeighborsEnum()
+	c2 := BuildGrid(pts, 8.0)
+	c2.ComputeNeighborsKD()
+	if c1.NumCells() != c2.NumCells() {
+		t.Fatalf("cell counts differ")
+	}
+	// Enum uses cube distance, KD uses cube distance too; lists must match.
+	for g := 0; g < c1.NumCells(); g++ {
+		a, b := c1.Neighbors[g], c2.Neighbors[g]
+		if len(a) != len(b) {
+			t.Fatalf("cell %d: %d vs %d neighbors", g, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cell %d neighbor %d: %d vs %d", g, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestGridCellCoordsConsistent(t *testing.T) {
+	pts := randomPoints(500, 2, 30, 3)
+	c := BuildGrid(pts, 3.0)
+	for g := 0; g < c.NumCells(); g++ {
+		lo, hi := c.GridCube(g)
+		for _, p := range c.PointsOf(g) {
+			row := c.Pts.At(int(p))
+			for j, v := range row {
+				if v < lo[j]-1e-9 || v > hi[j]+1e-9 {
+					t.Fatalf("cell %d: point outside grid cube", g)
+				}
+			}
+		}
+	}
+}
+
+func TestGridSinglePoint(t *testing.T) {
+	pts, _ := geom.FromRows([][]float64{{1, 1}})
+	c := BuildGrid(pts, 1.0)
+	if c.NumCells() != 1 || c.CellSize(0) != 1 {
+		t.Fatalf("cells = %d size0 = %d", c.NumCells(), c.CellSize(0))
+	}
+	c.ComputeNeighborsEnum()
+	if len(c.Neighbors[0]) != 0 {
+		t.Fatal("single cell has neighbors")
+	}
+}
+
+func TestGridAllSamePoint(t *testing.T) {
+	rows := make([][]float64, 1000)
+	for i := range rows {
+		rows[i] = []float64{5, 5, 5}
+	}
+	pts, _ := geom.FromRows(rows)
+	c := BuildGrid(pts, 2.0)
+	if c.NumCells() != 1 {
+		t.Fatalf("cells = %d, want 1", c.NumCells())
+	}
+	if c.CellSize(0) != 1000 {
+		t.Fatalf("size = %d, want 1000", c.CellSize(0))
+	}
+}
+
+func TestBuildBox2D(t *testing.T) {
+	pts := randomPoints(2000, 2, 100, 5)
+	c := BuildBox2D(pts, 5.0)
+	checkPartition(t, c)
+	c.ComputeNeighborsBox2D()
+	checkNeighbors(t, c)
+}
+
+func TestBox2DStripWidth(t *testing.T) {
+	pts := randomPoints(3000, 2, 200, 9)
+	eps := 7.0
+	c := BuildBox2D(pts, eps)
+	w := eps / math.Sqrt2
+	// Each cell's bbox extent must be at most the strip width in both axes
+	// (that is what guarantees diameter <= eps).
+	for g := 0; g < c.NumCells(); g++ {
+		lo, hi := c.CellBox(g)
+		if hi[0]-lo[0] > w+1e-9 || hi[1]-lo[1] > w+1e-9 {
+			t.Fatalf("cell %d extent (%v, %v) exceeds width %v",
+				g, hi[0]-lo[0], hi[1]-lo[1], w)
+		}
+	}
+}
+
+func TestBox2DMatchesSequentialStripScan(t *testing.T) {
+	// Reference: the sequential strip construction of Section 4.2.
+	pts := randomPoints(800, 2, 60, 13)
+	eps := 4.0
+	w := eps / math.Sqrt2
+	c := BuildBox2D(pts, eps)
+
+	// Sequential strips over x.
+	xs := make([]float64, pts.N)
+	idx := make([]int, pts.N)
+	for i := range idx {
+		idx[i] = i
+		xs[i] = pts.At(i)[0]
+	}
+	// Sort by (x, index) like the parallel code.
+	sortByX := func(a, b int) bool {
+		if xs[a] != xs[b] {
+			return xs[a] < xs[b]
+		}
+		return a < b
+	}
+	for i := 1; i < len(idx); i++ { // insertion sort (small n)
+		j := i
+		for j > 0 && sortByX(idx[j], idx[j-1]) {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			j--
+		}
+	}
+	wantStrip := make([]int, pts.N)
+	stripID := -1
+	var stripStartX float64
+	for k, p := range idx {
+		if k == 0 || xs[p] > stripStartX+w {
+			stripID++
+			stripStartX = xs[p]
+		}
+		wantStrip[p] = stripID
+	}
+	// The parallel construction's strip of a point = index of its strip in
+	// StripCellStart; recover via cell index.
+	gotStrip := make([]int, pts.N)
+	for p := 0; p < pts.N; p++ {
+		g := int(c.CellOf[p])
+		s := 0
+		for int(c.StripCellStart[s+1]) <= g {
+			s++
+		}
+		gotStrip[p] = s
+	}
+	for p := range wantStrip {
+		if gotStrip[p] != wantStrip[p] {
+			t.Fatalf("point %d: strip %d, want %d", p, gotStrip[p], wantStrip[p])
+		}
+	}
+}
+
+func TestBox2DRequires2D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 3D input")
+		}
+	}()
+	BuildBox2D(randomPoints(10, 3, 1, 1), 1.0)
+}
+
+func TestGridClusteredData(t *testing.T) {
+	// Two tight clusters far apart: their cells must not be neighbors.
+	rng := rand.New(rand.NewSource(17))
+	rows := [][]float64{}
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []float64{rng.Float64(), rng.Float64()})
+	}
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []float64{1000 + rng.Float64(), 1000 + rng.Float64()})
+	}
+	pts, _ := geom.FromRows(rows)
+	c := BuildGrid(pts, 2.0)
+	c.ComputeNeighborsEnum()
+	for g := 0; g < c.NumCells(); g++ {
+		glo, _ := c.CellBox(g)
+		for _, h := range c.Neighbors[g] {
+			hlo, _ := c.CellBox(int(h))
+			if (glo[0] < 500) != (hlo[0] < 500) {
+				t.Fatal("cells across clusters marked as neighbors")
+			}
+		}
+	}
+}

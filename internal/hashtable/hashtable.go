@@ -1,0 +1,99 @@
+// Package hashtable implements the phase-concurrent linear-probing hash table
+// the paper uses to store non-empty cells (Section 2, citing Shun–Blelloch).
+// Insertions use an atomic claim of an empty slot and continue probing on
+// failure; lookups may run concurrently with each other and, in the
+// phase-concurrent discipline, are issued only after the insert phase ends.
+package hashtable
+
+import (
+	"sync/atomic"
+
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+)
+
+// slot states.
+const (
+	slotEmpty uint32 = iota
+	slotClaimed
+	slotFull
+)
+
+// U64 maps uint64 keys to int32 values. The zero key is a valid key.
+type U64 struct {
+	state []uint32
+	keys  []uint64
+	vals  []int32
+	mask  uint64
+}
+
+// NewU64 creates a table with capacity for at least n entries at load factor
+// <= 0.5 (capacity is the next power of two >= 2n, minimum 16).
+func NewU64(n int) *U64 {
+	capacity := 16
+	for capacity < 2*n {
+		capacity <<= 1
+	}
+	return &U64{
+		state: make([]uint32, capacity),
+		keys:  make([]uint64, capacity),
+		vals:  make([]int32, capacity),
+		mask:  uint64(capacity - 1),
+	}
+}
+
+// Insert stores key -> val. It is safe to call concurrently with other
+// Inserts. If the key is inserted twice, one of the values wins
+// (non-deterministic, like the paper's table); duplicate inserts of the same
+// key are not detected, so callers insert each key once (the grid inserts one
+// entry per distinct cell).
+func (t *U64) Insert(key uint64, val int32) {
+	i := prim.Mix64(key) & t.mask
+	for {
+		if atomic.LoadUint32(&t.state[i]) == slotEmpty &&
+			atomic.CompareAndSwapUint32(&t.state[i], slotEmpty, slotClaimed) {
+			t.keys[i] = key
+			t.vals[i] = val
+			atomic.StoreUint32(&t.state[i], slotFull)
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Lookup returns the value for key and whether it is present. Concurrent with
+// other Lookups; if concurrent with Inserts it spins on slots whose write is
+// in flight (phase-concurrent usage never does).
+func (t *U64) Lookup(key uint64) (int32, bool) {
+	i := prim.Mix64(key) & t.mask
+	for {
+		s := atomic.LoadUint32(&t.state[i])
+		for s == slotClaimed {
+			s = atomic.LoadUint32(&t.state[i])
+		}
+		if s == slotEmpty {
+			return 0, false
+		}
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Len counts the occupied slots (parallel scan).
+func (t *U64) Len() int {
+	return prim.CountIf(len(t.state), func(i int) bool {
+		return atomic.LoadUint32(&t.state[i]) == slotFull
+	})
+}
+
+// ForEach invokes f on every (key, value) pair, in parallel. Must not run
+// concurrently with Inserts.
+func (t *U64) ForEach(f func(key uint64, val int32)) {
+	parallel.For(len(t.state), func(i int) {
+		if t.state[i] == slotFull {
+			f(t.keys[i], t.vals[i])
+		}
+	})
+}

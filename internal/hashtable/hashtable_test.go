@@ -1,0 +1,90 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"pdbscan/internal/parallel"
+)
+
+func TestInsertLookupSerial(t *testing.T) {
+	tb := NewU64(100)
+	want := map[uint64]int32{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		k := rng.Uint64()
+		want[k] = int32(i)
+		tb.Insert(k, int32(i))
+	}
+	for k, v := range want {
+		got, ok := tb.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("Lookup(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if _, ok := tb.Lookup(0xdeadbeef12345678); ok {
+		t.Fatal("found absent key")
+	}
+	if tb.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(want))
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	tb := NewU64(4)
+	tb.Insert(0, 42)
+	got, ok := tb.Lookup(0)
+	if !ok || got != 42 {
+		t.Fatalf("zero key: got %d,%v", got, ok)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	n := 200000
+	tb := NewU64(n)
+	parallel.For(n, func(i int) {
+		tb.Insert(uint64(i)*2654435761+1, int32(i))
+	})
+	if got := tb.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	parallel.For(n, func(i int) {
+		v, ok := tb.Lookup(uint64(i)*2654435761 + 1)
+		if !ok || v != int32(i) {
+			t.Errorf("key %d: got %d,%v", i, v, ok)
+		}
+	})
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	n := 5000
+	tb := NewU64(n)
+	for i := 0; i < n; i++ {
+		tb.Insert(uint64(i)+7, int32(i))
+	}
+	seen := make([]int32, n)
+	tb.ForEach(func(k uint64, v int32) {
+		seen[v]++
+		if k != uint64(v)+7 {
+			t.Errorf("mismatched pair (%d,%d)", k, v)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", i, c)
+		}
+	}
+}
+
+func TestHighCollisionKeys(t *testing.T) {
+	// Sequential keys stress linear probing runs.
+	n := 30000
+	tb := NewU64(n)
+	parallel.For(n, func(i int) { tb.Insert(uint64(i), int32(i)) })
+	for i := 0; i < n; i++ {
+		v, ok := tb.Lookup(uint64(i))
+		if !ok || v != int32(i) {
+			t.Fatalf("key %d: got %d,%v", i, v, ok)
+		}
+	}
+}

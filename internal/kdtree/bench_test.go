@@ -1,0 +1,44 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuild3D(b *testing.B) {
+	pts := randomPoints(100000, 3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkRangeCount(b *testing.B) {
+	pts := randomPoints(100000, 3, 1)
+	tree := Build(pts)
+	rng := rand.New(rand.NewSource(2))
+	queries := make([][]float64, 256)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.RangeCount(queries[i%len(queries)], 5)
+	}
+}
+
+func BenchmarkCountAtLeast(b *testing.B) {
+	pts := randomPoints(100000, 3, 1)
+	tree := Build(pts)
+	rng := rand.New(rand.NewSource(3))
+	queries := make([][]float64, 256)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.CountAtLeast(queries[i%len(queries)], 5, 10)
+	}
+}

@@ -1,0 +1,208 @@
+// Package kdtree implements the parallel k-d tree of Section 5.1. The paper
+// uses it for two jobs, and so do we: (1) finding the non-empty neighboring
+// cells of a cell in higher dimensions (a range query over cell centers), and
+// (2) pointwise eps-range queries in the baseline DBSCAN implementations.
+//
+// Construction is recursive; the two children of every node are built in
+// parallel, and the paper's "sort the points at each level and pass them to
+// the appropriate child" strategy is implemented with the parallel comparison
+// sort from internal/prim. Queries never modify the tree and may run in
+// parallel with each other.
+package kdtree
+
+import (
+	"pdbscan/internal/geom"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+)
+
+// leafSize is the subrange size below which a node stores points directly.
+const leafSize = 16
+
+// node is one k-d tree node over idx[lo:hi].
+type node struct {
+	lo, hi      int32
+	bbLo, bbHi  []float64
+	left, right *node // nil for leaves
+}
+
+// Tree is a k-d tree over a set of points (by index).
+type Tree struct {
+	pts  geom.Points
+	idx  []int32 // reordered point indices
+	root *node
+}
+
+// Build constructs a k-d tree over all points of pts in parallel.
+func Build(pts geom.Points) *Tree {
+	idx := make([]int32, pts.N)
+	parallel.For(pts.N, func(i int) { idx[i] = int32(i) })
+	return BuildSubset(pts, idx)
+}
+
+// BuildSubset constructs a k-d tree over the given point indices. The slice
+// is taken over (reordered in place).
+func BuildSubset(pts geom.Points, idx []int32) *Tree {
+	t := &Tree{pts: pts, idx: idx}
+	if len(idx) > 0 {
+		t.root = t.build(0, int32(len(idx)), 0, parallel.Workers())
+	}
+	return t
+}
+
+func (t *Tree) build(lo, hi int32, depth, budget int) *node {
+	n := &node{lo: lo, hi: hi}
+	n.bbLo, n.bbHi = t.computeBounds(lo, hi)
+	if hi-lo <= leafSize {
+		return n
+	}
+	// Split on the widest dimension of the bounding box at the median, by
+	// sorting the subrange on that dimension (the paper's per-level sort).
+	dim := 0
+	widest := n.bbHi[0] - n.bbLo[0]
+	for j := 1; j < t.pts.D; j++ {
+		if w := n.bbHi[j] - n.bbLo[j]; w > widest {
+			widest = w
+			dim = j
+		}
+	}
+	sub := t.idx[lo:hi]
+	d := t.pts.D
+	data := t.pts.Data
+	prim.Sort(sub, func(a, b int32) bool {
+		va, vb := data[int(a)*d+dim], data[int(b)*d+dim]
+		if va != vb {
+			return va < vb
+		}
+		return a < b
+	})
+	mid := lo + (hi-lo)/2
+	if hi-lo > 4096 && budget > 1 {
+		parallel.Do(
+			func() { n.left = t.build(lo, mid, depth+1, budget/2) },
+			func() { n.right = t.build(mid, hi, depth+1, budget-budget/2) },
+		)
+	} else {
+		n.left = t.build(lo, mid, depth+1, 1)
+		n.right = t.build(mid, hi, depth+1, 1)
+	}
+	return n
+}
+
+func (t *Tree) computeBounds(lo, hi int32) (bbLo, bbHi []float64) {
+	d := t.pts.D
+	bbLo = make([]float64, d)
+	bbHi = make([]float64, d)
+	first := t.pts.At(int(t.idx[lo]))
+	copy(bbLo, first)
+	copy(bbHi, first)
+	for i := lo + 1; i < hi; i++ {
+		row := t.pts.At(int(t.idx[i]))
+		for j, v := range row {
+			if v < bbLo[j] {
+				bbLo[j] = v
+			}
+			if v > bbHi[j] {
+				bbHi[j] = v
+			}
+		}
+	}
+	return bbLo, bbHi
+}
+
+// RangeCount returns |{p in tree : dist(p, q) <= r}|.
+func (t *Tree) RangeCount(q []float64, r float64) int {
+	if t.root == nil {
+		return 0
+	}
+	return t.rangeCount(t.root, q, r*r)
+}
+
+func (t *Tree) rangeCount(n *node, q []float64, r2 float64) int {
+	if geom.PointBoxDistSq(q, n.bbLo, n.bbHi) > r2 {
+		return 0
+	}
+	if geom.BoxMaxDistSq(q, n.bbLo, n.bbHi) <= r2 {
+		return int(n.hi - n.lo)
+	}
+	if n.left == nil {
+		c := 0
+		for i := n.lo; i < n.hi; i++ {
+			if geom.DistSq(q, t.pts.At(int(t.idx[i]))) <= r2 {
+				c++
+			}
+		}
+		return c
+	}
+	return t.rangeCount(n.left, q, r2) + t.rangeCount(n.right, q, r2)
+}
+
+// RangeQuery appends to out the indices of all points within distance r of q
+// and returns the extended slice.
+func (t *Tree) RangeQuery(q []float64, r float64, out []int32) []int32 {
+	if t.root == nil {
+		return out
+	}
+	return t.rangeQuery(t.root, q, r*r, out)
+}
+
+func (t *Tree) rangeQuery(n *node, q []float64, r2 float64, out []int32) []int32 {
+	if geom.PointBoxDistSq(q, n.bbLo, n.bbHi) > r2 {
+		return out
+	}
+	if geom.BoxMaxDistSq(q, n.bbLo, n.bbHi) <= r2 {
+		out = append(out, t.idx[n.lo:n.hi]...)
+		return out
+	}
+	if n.left == nil {
+		for i := n.lo; i < n.hi; i++ {
+			if geom.DistSq(q, t.pts.At(int(t.idx[i]))) <= r2 {
+				out = append(out, t.idx[i])
+			}
+		}
+		return out
+	}
+	out = t.rangeQuery(n.left, q, r2, out)
+	return t.rangeQuery(n.right, q, r2, out)
+}
+
+// CountAtLeast reports whether at least k points lie within distance r of q,
+// terminating early once k are found (used by baseline core-point tests so a
+// dense neighborhood does not cost a full count).
+func (t *Tree) CountAtLeast(q []float64, r float64, k int) bool {
+	if t.root == nil {
+		return k <= 0
+	}
+	return t.countAtLeast(t.root, q, r*r, &k)
+}
+
+func (t *Tree) countAtLeast(n *node, q []float64, r2 float64, k *int) bool {
+	if *k <= 0 {
+		return true
+	}
+	if geom.PointBoxDistSq(q, n.bbLo, n.bbHi) > r2 {
+		return false
+	}
+	if geom.BoxMaxDistSq(q, n.bbLo, n.bbHi) <= r2 {
+		*k -= int(n.hi - n.lo)
+		return *k <= 0
+	}
+	if n.left == nil {
+		for i := n.lo; i < n.hi; i++ {
+			if geom.DistSq(q, t.pts.At(int(t.idx[i]))) <= r2 {
+				*k--
+				if *k <= 0 {
+					return true
+				}
+			}
+		}
+		return *k <= 0
+	}
+	if t.countAtLeast(n.left, q, r2, k) {
+		return true
+	}
+	return t.countAtLeast(n.right, q, r2, k)
+}
+
+// Size returns the number of points in the tree.
+func (t *Tree) Size() int { return len(t.idx) }

@@ -1,0 +1,149 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pdbscan/internal/geom"
+)
+
+func randomPoints(n, d int, seed int64) geom.Points {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n*d)
+	for i := range data {
+		data[i] = rng.Float64() * 100
+	}
+	return geom.Points{N: n, D: d, Data: data}
+}
+
+func bruteRange(pts geom.Points, q []float64, r float64) []int32 {
+	var out []int32
+	r2 := r * r
+	for i := 0; i < pts.N; i++ {
+		if geom.DistSq(q, pts.At(i)) <= r2 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func TestRangeCountMatchesBrute(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5, 7} {
+		pts := randomPoints(2000, d, int64(d))
+		tree := Build(pts)
+		rng := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 50; trial++ {
+			q := make([]float64, d)
+			for j := range q {
+				q[j] = rng.Float64() * 100
+			}
+			r := rng.Float64() * 20
+			want := len(bruteRange(pts, q, r))
+			if got := tree.RangeCount(q, r); got != want {
+				t.Fatalf("d=%d trial=%d: count=%d want %d", d, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestRangeQueryMatchesBrute(t *testing.T) {
+	pts := randomPoints(3000, 3, 11)
+	tree := Build(pts)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		q := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		r := rng.Float64() * 15
+		want := bruteRange(pts, q, r)
+		got := tree.RangeQuery(q, r, nil)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangeQueryAppendsToExisting(t *testing.T) {
+	pts := randomPoints(100, 2, 1)
+	tree := Build(pts)
+	pre := []int32{-7}
+	out := tree.RangeQuery(pts.At(0), 1000, pre)
+	if out[0] != -7 {
+		t.Fatal("prefix clobbered")
+	}
+	if len(out) != 101 {
+		t.Fatalf("len = %d, want 101", len(out))
+	}
+}
+
+func TestCountAtLeast(t *testing.T) {
+	pts := randomPoints(5000, 3, 21)
+	tree := Build(pts)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		q := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		r := rng.Float64() * 25
+		k := 1 + rng.Intn(20)
+		want := tree.RangeCount(q, r) >= k
+		if got := tree.CountAtLeast(q, r, k); got != want {
+			t.Fatalf("trial %d: CountAtLeast=%v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestEmptyAndTinyTrees(t *testing.T) {
+	empty := BuildSubset(geom.Points{N: 0, D: 2}, nil)
+	if empty.RangeCount([]float64{0, 0}, 10) != 0 {
+		t.Fatal("empty tree counted points")
+	}
+	if empty.CountAtLeast([]float64{0, 0}, 10, 1) {
+		t.Fatal("empty tree has a point")
+	}
+	one, _ := geom.FromRows([][]float64{{3, 4}})
+	tree := Build(one)
+	if tree.RangeCount([]float64{0, 0}, 5) != 1 {
+		t.Fatal("single point at distance 5 not counted with r=5")
+	}
+	if tree.RangeCount([]float64{0, 0}, 4.999) != 0 {
+		t.Fatal("single point counted inside smaller radius")
+	}
+}
+
+func TestBuildSubset(t *testing.T) {
+	pts := randomPoints(1000, 2, 31)
+	idx := []int32{}
+	for i := 0; i < 1000; i += 2 {
+		idx = append(idx, int32(i))
+	}
+	tree := BuildSubset(pts, idx)
+	if tree.Size() != 500 {
+		t.Fatalf("size = %d, want 500", tree.Size())
+	}
+	// Only even indices should be returned.
+	got := tree.RangeQuery(pts.At(0), 1e9, nil)
+	if len(got) != 500 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for _, i := range got {
+		if i%2 != 0 {
+			t.Fatalf("odd index %d in subset tree", i)
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{1, 2, 3}
+	}
+	pts, _ := geom.FromRows(rows)
+	tree := Build(pts)
+	if got := tree.RangeCount([]float64{1, 2, 3}, 0); got != 200 {
+		t.Fatalf("duplicates: count = %d, want 200", got)
+	}
+}

@@ -1,0 +1,352 @@
+// Package metrics provides clustering-comparison utilities: an
+// obviously-correct brute-force DBSCAN oracle (quadratic, used by tests), a
+// partition-equivalence check (cluster IDs compared up to relabeling), the
+// Adjusted Rand Index, and a validity oracle for Gan–Tao approximate DBSCAN.
+package metrics
+
+import (
+	"fmt"
+
+	"pdbscan/internal/geom"
+)
+
+// BruteResult is the output of the reference DBSCAN.
+type BruteResult struct {
+	Core []bool
+	// Clusters[i] is the ascending set of cluster IDs point i belongs to:
+	// exactly one for core points, possibly several for border points,
+	// empty for noise.
+	Clusters [][]int
+	// NumClusters is the number of clusters.
+	NumClusters int
+}
+
+// BruteDBSCAN computes exact DBSCAN per the standard definition by brute
+// force (O(n^2) distances). It is the test oracle.
+func BruteDBSCAN(pts geom.Points, eps float64, minPts int) *BruteResult {
+	n := pts.N
+	eps2 := eps * eps
+	core := make([]bool, n)
+	for i := 0; i < n; i++ {
+		count := 0
+		for j := 0; j < n; j++ {
+			if geom.DistSq(pts.At(i), pts.At(j)) <= eps2 {
+				count++
+			}
+		}
+		core[i] = count >= minPts
+	}
+	// Connected components of core points under d <= eps.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	numClusters := 0
+	var stack []int
+	for s := 0; s < n; s++ {
+		if !core[s] || comp[s] >= 0 {
+			continue
+		}
+		comp[s] = numClusters
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := 0; v < n; v++ {
+				if v == u || !core[v] || comp[v] >= 0 {
+					continue
+				}
+				if geom.DistSq(pts.At(u), pts.At(v)) <= eps2 {
+					comp[v] = numClusters
+					stack = append(stack, v)
+				}
+			}
+		}
+		numClusters++
+	}
+	clusters := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if core[i] {
+			clusters[i] = []int{comp[i]}
+			continue
+		}
+		var set []int
+		for j := 0; j < n; j++ {
+			if !core[j] {
+				continue
+			}
+			if geom.DistSq(pts.At(i), pts.At(j)) <= eps2 {
+				c := comp[j]
+				found := false
+				for _, x := range set {
+					if x == c {
+						found = true
+						break
+					}
+				}
+				if !found {
+					set = append(set, c)
+				}
+			}
+		}
+		// ascending
+		for a := 1; a < len(set); a++ {
+			b := a
+			for b > 0 && set[b] < set[b-1] {
+				set[b], set[b-1] = set[b-1], set[b]
+				b--
+			}
+		}
+		clusters[i] = set
+	}
+	return &BruteResult{Core: core, Clusters: clusters, NumClusters: numClusters}
+}
+
+// SameDBSCANResult compares a library result (core flags, primary labels and
+// border membership sets) against the brute-force oracle, requiring exact
+// agreement up to a bijective relabeling of clusters. Returns nil on match.
+func SameDBSCANResult(
+	ref *BruteResult,
+	core []bool, labels []int32, border map[int32][]int32, numClusters int,
+) error {
+	n := len(ref.Core)
+	if len(core) != n || len(labels) != n {
+		return fmt.Errorf("length mismatch")
+	}
+	if numClusters != ref.NumClusters {
+		return fmt.Errorf("numClusters = %d, want %d", numClusters, ref.NumClusters)
+	}
+	for i := 0; i < n; i++ {
+		if core[i] != ref.Core[i] {
+			return fmt.Errorf("point %d: core = %v, want %v", i, core[i], ref.Core[i])
+		}
+	}
+	// Build the label bijection from core points.
+	fw := map[int32]int{}
+	bw := map[int]int32{}
+	for i := 0; i < n; i++ {
+		if !ref.Core[i] {
+			continue
+		}
+		got, want := labels[i], ref.Clusters[i][0]
+		if g, ok := fw[got]; ok && g != want {
+			return fmt.Errorf("point %d: label %d maps to refs %d and %d", i, got, g, want)
+		}
+		if w, ok := bw[want]; ok && w != got {
+			return fmt.Errorf("point %d: ref %d maps to labels %d and %d", i, want, w, got)
+		}
+		fw[got] = want
+		bw[want] = got
+	}
+	// Check non-core points.
+	for i := 0; i < n; i++ {
+		if ref.Core[i] {
+			continue
+		}
+		want := ref.Clusters[i]
+		var got []int32
+		if m, ok := border[int32(i)]; ok {
+			got = m
+		} else if labels[i] >= 0 {
+			got = []int32{labels[i]}
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("point %d: %d memberships, want %d", i, len(got), len(want))
+		}
+		// Map and compare as sets.
+		seen := map[int]bool{}
+		for _, w := range want {
+			seen[w] = true
+		}
+		for _, g := range got {
+			w, ok := fw[g]
+			if !ok {
+				return fmt.Errorf("point %d: label %d not seen on any core point", i, g)
+			}
+			if !seen[w] {
+				return fmt.Errorf("point %d: membership %d (ref %d) not in oracle set %v", i, g, w, want)
+			}
+		}
+		if len(got) > 0 {
+			// Primary label must be the smallest membership.
+			minG := got[0]
+			for _, g := range got {
+				if g < minG {
+					minG = g
+				}
+			}
+			if labels[i] != minG {
+				return fmt.Errorf("point %d: primary label %d, want min membership %d", i, labels[i], minG)
+			}
+		} else if labels[i] != -1 {
+			return fmt.Errorf("point %d: noise point has label %d", i, labels[i])
+		}
+	}
+	return nil
+}
+
+// ValidApproxResult verifies the Gan–Tao approximate DBSCAN guarantees:
+//  1. core flags equal exact DBSCAN's (the core definition is unchanged);
+//  2. core points within eps of each other are in the same cluster;
+//  3. each cluster's core points form a connected graph under d <= eps(1+rho);
+//  4. border points belong only to clusters with a core point within eps,
+//     and to every cluster with such a core point.
+//
+// Returns nil if the clustering is a valid approximate answer.
+func ValidApproxResult(
+	pts geom.Points, eps, rho float64, minPts int,
+	core []bool, labels []int32, border map[int32][]int32,
+) error {
+	n := pts.N
+	eps2 := eps * eps
+	relaxed2 := eps * (1 + rho) * eps * (1 + rho)
+	// (1) core flags.
+	for i := 0; i < n; i++ {
+		count := 0
+		for j := 0; j < n; j++ {
+			if geom.DistSq(pts.At(i), pts.At(j)) <= eps2 {
+				count++
+			}
+		}
+		if core[i] != (count >= minPts) {
+			return fmt.Errorf("point %d: core = %v, exact wants %v", i, core[i], count >= minPts)
+		}
+	}
+	// (2) mandatory merges.
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if !core[j] {
+				continue
+			}
+			if geom.DistSq(pts.At(i), pts.At(j)) <= eps2 && labels[i] != labels[j] {
+				return fmt.Errorf("core points %d and %d within eps but in clusters %d and %d",
+					i, j, labels[i], labels[j])
+			}
+		}
+	}
+	// (3) intra-cluster connectivity under the relaxed radius.
+	clusters := map[int32][]int{}
+	for i := 0; i < n; i++ {
+		if core[i] {
+			clusters[labels[i]] = append(clusters[labels[i]], i)
+		}
+	}
+	for lbl, members := range clusters {
+		if len(members) <= 1 {
+			continue
+		}
+		visited := map[int]bool{members[0]: true}
+		stack := []int{members[0]}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range members {
+				if visited[v] {
+					continue
+				}
+				if geom.DistSq(pts.At(u), pts.At(v)) <= relaxed2 {
+					visited[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		if len(visited) != len(members) {
+			return fmt.Errorf("cluster %d not connected under eps(1+rho)", lbl)
+		}
+	}
+	// (4) border membership.
+	for i := 0; i < n; i++ {
+		if core[i] {
+			continue
+		}
+		want := map[int32]bool{}
+		for j := 0; j < n; j++ {
+			if core[j] && geom.DistSq(pts.At(i), pts.At(j)) <= eps2 {
+				want[labels[j]] = true
+			}
+		}
+		var got []int32
+		if m, ok := border[int32(i)]; ok {
+			got = m
+		} else if labels[i] >= 0 {
+			got = []int32{labels[i]}
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("border point %d: %d memberships, want %d", i, len(got), len(want))
+		}
+		for _, g := range got {
+			if !want[g] {
+				return fmt.Errorf("border point %d: wrong membership %d", i, g)
+			}
+		}
+	}
+	return nil
+}
+
+// AdjustedRandIndex computes the ARI between two flat labelings (same
+// length; negative labels mean "noise" and are treated as singleton
+// clusters). 1.0 means identical partitions.
+func AdjustedRandIndex(a, b []int32) float64 {
+	n := len(a)
+	if n != len(b) || n == 0 {
+		return 0
+	}
+	// Remap noise to unique singleton labels.
+	amax, bmax := int32(0), int32(0)
+	for i := 0; i < n; i++ {
+		if a[i] > amax {
+			amax = a[i]
+		}
+		if b[i] > bmax {
+			bmax = b[i]
+		}
+	}
+	ar := make([]int32, n)
+	br := make([]int32, n)
+	na, nb := amax+1, bmax+1
+	for i := 0; i < n; i++ {
+		if a[i] < 0 {
+			ar[i] = na
+			na++
+		} else {
+			ar[i] = a[i]
+		}
+		if b[i] < 0 {
+			br[i] = nb
+			nb++
+		} else {
+			br[i] = b[i]
+		}
+	}
+	// Contingency table via map (sparse).
+	type pair struct{ x, y int32 }
+	cont := map[pair]int64{}
+	rowSum := map[int32]int64{}
+	colSum := map[int32]int64{}
+	for i := 0; i < n; i++ {
+		cont[pair{ar[i], br[i]}]++
+		rowSum[ar[i]]++
+		colSum[br[i]]++
+	}
+	choose2 := func(x int64) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumCont, sumRow, sumCol float64
+	for _, v := range cont {
+		sumCont += choose2(v)
+	}
+	for _, v := range rowSum {
+		sumRow += choose2(v)
+	}
+	for _, v := range colSum {
+		sumCol += choose2(v)
+	}
+	total := choose2(int64(n))
+	expected := sumRow * sumCol / total
+	maxIdx := (sumRow + sumCol) / 2
+	if maxIdx == expected {
+		return 1
+	}
+	return (sumCont - expected) / (maxIdx - expected)
+}

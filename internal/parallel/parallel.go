@@ -1,0 +1,239 @@
+// Package parallel provides the fork-join primitives that the rest of the
+// library is written against. It plays the role that the Cilk Plus
+// work-stealing runtime plays in the paper: a data-parallel "par-for" with
+// automatic granularity, binary fork-join for divide-and-conquer algorithms,
+// and parallel reductions.
+//
+// The scheduler is deliberately simple: every parallel loop partitions its
+// iteration space into at most Workers() contiguous blocks and runs each block
+// on its own goroutine. Nested parallel calls simply spawn more goroutines;
+// the Go runtime multiplexes them onto GOMAXPROCS threads, which approximates
+// the Brent-style W/P + D running time the paper's analysis assumes. Loops
+// below a small grain run serially so that goroutine overhead never dominates
+// (the coarse-granularity compensation called out in DESIGN.md).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers, when positive, caps the number of goroutines any single
+// parallel construct spawns. Zero means "use GOMAXPROCS".
+var maxWorkers int64
+
+// SetWorkers caps the parallelism of every construct in this package.
+// p <= 0 resets to the default (GOMAXPROCS at call time). It returns the
+// previous cap (0 if none was set). The benchmark harness uses this together
+// with runtime.GOMAXPROCS to run thread-count sweeps.
+func SetWorkers(p int) int {
+	old := atomic.LoadInt64(&maxWorkers)
+	if p <= 0 {
+		atomic.StoreInt64(&maxWorkers, 0)
+	} else {
+		atomic.StoreInt64(&maxWorkers, int64(p))
+	}
+	return int(old)
+}
+
+// Workers reports the number of goroutines a parallel loop may use.
+func Workers() int {
+	if p := atomic.LoadInt64(&maxWorkers); p > 0 {
+		return int(p)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minGrain is the smallest per-goroutine block for element-wise loops.
+// Below this, spawning is not worth it.
+const minGrain = 512
+
+// For runs f(i) for every i in [0, n) in parallel. The iteration space is cut
+// into contiguous blocks; f must be safe to call concurrently for distinct i.
+func For(n int, f func(i int)) {
+	ForGrain(n, 0, f)
+}
+
+// ForGrain is For with an explicit minimum grain (iterations per goroutine).
+// grain <= 0 selects a default that keeps per-goroutine work above minGrain
+// while using all workers on large inputs.
+func ForGrain(n, grain int, f func(i int)) {
+	BlockedFor(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// BlockedFor partitions [0, n) into contiguous [lo, hi) blocks and runs
+// body(lo, hi) for each block in parallel. This is the workhorse used by the
+// primitives: it exposes the block structure so callers can keep per-block
+// state (histograms, partial sums) without false sharing.
+func BlockedFor(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if grain <= 0 {
+		grain = minGrain
+	}
+	nblocks := (n + grain - 1) / grain
+	if nblocks > p {
+		nblocks = p
+	}
+	if nblocks <= 1 {
+		body(0, n)
+		return
+	}
+	bsize := (n + nblocks - 1) / nblocks
+	var wg sync.WaitGroup
+	for b := 0; b < nblocks; b++ {
+		lo := b * bsize
+		hi := lo + bsize
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// NumBlocks reports how many blocks BlockedFor would use for n items with the
+// given grain, so callers can pre-size per-block scratch arrays.
+func NumBlocks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := Workers()
+	if grain <= 0 {
+		grain = minGrain
+	}
+	nblocks := (n + grain - 1) / grain
+	if nblocks > p {
+		nblocks = p
+	}
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	return nblocks
+}
+
+// BlockedForIdx is BlockedFor that also passes the block index, for callers
+// that write into per-block scratch slots.
+func BlockedForIdx(n, grain int, body func(b, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nblocks := NumBlocks(n, grain)
+	if nblocks == 1 {
+		body(0, 0, n)
+		return
+	}
+	bsize := (n + nblocks - 1) / nblocks
+	var wg sync.WaitGroup
+	for b := 0; b < nblocks; b++ {
+		lo := b * bsize
+		hi := lo + bsize
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			body(b, lo, hi)
+		}(b, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions in parallel and waits for all of them. It is
+// the binary (n-ary) fork of fork-join divide-and-conquer algorithms.
+func Do(fs ...func()) {
+	switch len(fs) {
+	case 0:
+		return
+	case 1:
+		fs[0]()
+		return
+	case 2:
+		// Common case: run one half inline to halve goroutine count.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fs[0]()
+		}()
+		fs[1]()
+		wg.Wait()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fs) - 1)
+	for _, f := range fs[:len(fs)-1] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	fs[len(fs)-1]()
+	wg.Wait()
+}
+
+// ReduceInt computes the sum over i in [0, n) of f(i) with a parallel
+// block-level reduction.
+func ReduceInt(n int, f func(i int) int) int {
+	nb := NumBlocks(n, 0)
+	if nb == 0 {
+		return 0
+	}
+	partial := make([]int, nb)
+	BlockedForIdx(n, 0, func(b, lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[b] = s
+	})
+	total := 0
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// ReduceFloat64Min computes the minimum over i in [0, n) of f(i).
+// Returns +Inf-like behaviour via the identity argument when n == 0.
+func ReduceFloat64Min(n int, identity float64, f func(i int) float64) float64 {
+	nb := NumBlocks(n, 0)
+	if nb == 0 {
+		return identity
+	}
+	partial := make([]float64, nb)
+	BlockedForIdx(n, 0, func(b, lo, hi int) {
+		m := identity
+		for i := lo; i < hi; i++ {
+			if v := f(i); v < m {
+				m = v
+			}
+		}
+		partial[b] = m
+	})
+	m := identity
+	for _, v := range partial {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 512, 513, 100000} {
+		seen := make([]int32, n)
+		For(n, func(i int) {
+			atomic.AddInt32(&seen[i], 1)
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestBlockedForPartitions(t *testing.T) {
+	n := 100001
+	var total int64
+	BlockedFor(n, 0, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad block [%d,%d)", lo, hi)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != int64(n) {
+		t.Fatalf("covered %d of %d iterations", total, n)
+	}
+}
+
+func TestBlockedForIdxDistinctBlocks(t *testing.T) {
+	n := 65537
+	nb := NumBlocks(n, 0)
+	counts := make([]int64, nb)
+	BlockedForIdx(n, 0, func(b, lo, hi int) {
+		atomic.AddInt64(&counts[b], int64(hi-lo))
+	})
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != int64(n) {
+		t.Fatalf("blocks cover %d of %d", total, n)
+	}
+}
+
+func TestSetWorkersCapsBlocks(t *testing.T) {
+	old := SetWorkers(2)
+	defer SetWorkers(old)
+	if w := Workers(); w != 2 {
+		t.Fatalf("Workers() = %d, want 2", w)
+	}
+	if nb := NumBlocks(1<<20, 1); nb != 2 {
+		t.Fatalf("NumBlocks = %d, want 2", nb)
+	}
+	SetWorkers(0)
+	if w := Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS", w)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.AddInt32(&a, 1) },
+		func() { atomic.AddInt32(&b, 1) },
+		func() { atomic.AddInt32(&c, 1) },
+	)
+	if a != 1 || b != 1 || c != 1 {
+		t.Fatalf("Do skipped a branch: %d %d %d", a, b, c)
+	}
+	Do() // must not hang
+	ran := false
+	Do(func() { ran = true })
+	if !ran {
+		t.Fatal("single-arg Do did not run")
+	}
+}
+
+func TestDoNested(t *testing.T) {
+	// Nested fork-join (divide and conquer) must not deadlock.
+	var leaves int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			atomic.AddInt64(&leaves, 1)
+			return
+		}
+		Do(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	rec(10)
+	if leaves != 1024 {
+		t.Fatalf("leaves = %d, want 1024", leaves)
+	}
+}
+
+func TestReduceIntMatchesSerial(t *testing.T) {
+	f := func(xs []int16) bool {
+		want := 0
+		for _, x := range xs {
+			want += int(x)
+		}
+		got := ReduceInt(len(xs), func(i int) int { return int(xs[i]) })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceFloat64Min(t *testing.T) {
+	xs := []float64{5, 3, 9, -2, 7}
+	got := ReduceFloat64Min(len(xs), 1e18, func(i int) float64 { return xs[i] })
+	if got != -2 {
+		t.Fatalf("min = %v, want -2", got)
+	}
+	if got := ReduceFloat64Min(0, 42, nil); got != 42 {
+		t.Fatalf("empty min = %v, want identity 42", got)
+	}
+}
+
+func TestReduceIntLarge(t *testing.T) {
+	n := 1 << 20
+	got := ReduceInt(n, func(i int) int { return 1 })
+	if got != n {
+		t.Fatalf("sum = %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,116 @@
+package prim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortAllEqual(t *testing.T) {
+	a := make([]int, 100000)
+	for i := range a {
+		a[i] = 7
+	}
+	Sort(a, func(x, y int) bool { return x < y })
+	for _, v := range a {
+		if v != 7 {
+			t.Fatal("sort corrupted all-equal input")
+		}
+	}
+}
+
+func TestSortReverseSorted(t *testing.T) {
+	n := 100000
+	a := make([]int, n)
+	for i := range a {
+		a[i] = n - i
+	}
+	Sort(a, func(x, y int) bool { return x < y })
+	for i := range a {
+		if a[i] != i+1 {
+			t.Fatalf("a[%d] = %d", i, a[i])
+		}
+	}
+}
+
+func TestMergeHeavyDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := make([]int, 30000)
+	b := make([]int, 20000)
+	for i := range a {
+		a[i] = rng.Intn(5)
+	}
+	for i := range b {
+		b[i] = rng.Intn(5)
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	out := make([]int, len(a)+len(b))
+	Merge(a, b, out, func(x, y int) bool { return x < y })
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestRadixSort64Bits(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 50000
+	keys := make([]uint64, n)
+	vals := make([]int32, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		vals[i] = int32(i)
+	}
+	want := append([]uint64{}, keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	RadixSortPairs(keys, vals, 64)
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("64-bit radix: keys[%d] = %d, want %d", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestRadixSortZeroAndOversizeBits(t *testing.T) {
+	keys := []uint64{3, 1, 2}
+	vals := []int32{0, 1, 2}
+	RadixSortPairs(keys, vals, 0) // no-op
+	if keys[0] != 3 {
+		t.Fatal("bits=0 should not sort")
+	}
+	RadixSortPairs(keys, vals, 1000) // clamped to 64
+	if keys[0] != 1 || keys[2] != 3 {
+		t.Fatalf("oversize bits: %v", keys)
+	}
+}
+
+func TestFilterAllAndNone(t *testing.T) {
+	a := []int{1, 2, 3}
+	if got := Filter(a, func(int) bool { return true }); len(got) != 3 {
+		t.Fatalf("all: %v", got)
+	}
+	if got := Filter(a, func(int) bool { return false }); len(got) != 0 {
+		t.Fatalf("none: %v", got)
+	}
+	if got := Filter([]int(nil), func(int) bool { return true }); got != nil {
+		t.Fatalf("nil input: %v", got)
+	}
+}
+
+func TestSemisortSingleElement(t *testing.T) {
+	res := Semisort([]uint64{42})
+	if res.NumGroups() != 1 || res.Order[0] != 0 {
+		t.Fatalf("single element: %+v", res)
+	}
+}
+
+func TestPrefixSumFloat(t *testing.T) {
+	a := []float64{0.5, 1.5, 2.0}
+	out := make([]float64, 3)
+	total := PrefixSum(a, out)
+	if total != 4.0 || out[0] != 0 || out[1] != 0.5 || out[2] != 2.0 {
+		t.Fatalf("float scan: total=%v out=%v", total, out)
+	}
+}

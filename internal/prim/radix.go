@@ -1,0 +1,101 @@
+package prim
+
+import (
+	"pdbscan/internal/parallel"
+)
+
+// radixBits is the digit width of one counting-sort pass. 8 bits keeps the
+// per-block histogram (256 entries) in L1 while still finishing a 32-bit key
+// in four passes.
+const radixBits = 8
+const radixBuckets = 1 << radixBits
+const radixMask = radixBuckets - 1
+
+// RadixSortPairs stably sorts the parallel arrays (keys, vals) by the low
+// `bits` bits of each key, ascending, using parallel LSD counting-sort passes
+// (the paper's "integer sort": O(n) work per pass, O(log n) depth).
+// keys and vals are overwritten with the sorted order; len(vals) must equal
+// len(keys). Passing bits < 64 skips passes for high zero digits, which is how
+// the quadtree sorts child indices in a single pass.
+func RadixSortPairs[V any](keys []uint64, vals []V, bits int) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	if bits <= 0 {
+		return
+	}
+	if bits > 64 {
+		bits = 64
+	}
+	keyBuf := make([]uint64, n)
+	valBuf := make([]V, n)
+	src, dst := keys, keyBuf
+	vsrc, vdst := vals, valBuf
+	for shift := 0; shift < bits; shift += radixBits {
+		countingPass(src, vsrc, dst, vdst, uint(shift))
+		src, dst = dst, src
+		vsrc, vdst = vdst, vsrc
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+		copy(vals, vsrc)
+	}
+}
+
+// countingPass performs one stable counting-sort pass on digit
+// (key >> shift) & radixMask.
+func countingPass[V any](keys []uint64, vals []V, outKeys []uint64, outVals []V, shift uint) {
+	n := len(keys)
+	nb := parallel.NumBlocks(n, 0)
+	// counts[b*radixBuckets + d] = number of items with digit d in block b.
+	counts := make([]int32, nb*radixBuckets)
+	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+		c := counts[b*radixBuckets : (b+1)*radixBuckets]
+		for i := lo; i < hi; i++ {
+			c[(keys[i]>>shift)&radixMask]++
+		}
+	})
+	// Exclusive prefix sum in digit-major, block-minor order gives each
+	// (digit, block) its unique output offset, preserving stability.
+	var run int32
+	for d := 0; d < radixBuckets; d++ {
+		for b := 0; b < nb; b++ {
+			idx := b*radixBuckets + d
+			c := counts[idx]
+			counts[idx] = run
+			run += c
+		}
+	}
+	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+		// Local copy of this block's start offsets (counts is shared).
+		offs := make([]int32, radixBuckets)
+		for d := 0; d < radixBuckets; d++ {
+			offs[d] = counts[b*radixBuckets+d]
+		}
+		for i := lo; i < hi; i++ {
+			d := (keys[i] >> shift) & radixMask
+			w := offs[d]
+			offs[d] = w + 1
+			outKeys[w] = keys[i]
+			outVals[w] = vals[i]
+		}
+	})
+}
+
+// IntegerSort sorts int32 keys from [0, keyRange) ascending in O(n) work,
+// carrying vals along. It is the primitive the parallel quadtree construction
+// uses (keys are child indices in [0, 2^d)).
+func IntegerSort[V any](keys []int32, vals []V, keyRange int) {
+	bits := 0
+	for (1 << bits) < keyRange {
+		bits++
+	}
+	if bits == 0 {
+		return
+	}
+	k64 := make([]uint64, len(keys))
+	parallel.For(len(keys), func(i int) { k64[i] = uint64(uint32(keys[i])) })
+	RadixSortPairs(k64, vals, bits)
+	parallel.For(len(keys), func(i int) { keys[i] = int32(k64[i]) })
+}

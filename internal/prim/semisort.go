@@ -1,0 +1,96 @@
+package prim
+
+import (
+	"pdbscan/internal/parallel"
+)
+
+// Mix64 is a strong 64-bit mixing function (splitmix64 finalizer). It is the
+// hash used by the semisort and the concurrent hash table, so equal keys
+// always collide and unequal keys collide with probability ~2^-64.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SemisortResult is the output of Semisort: Order is a permutation of
+// [0, n) such that equal keys are contiguous, and GroupStart[g] is the offset
+// in Order where group g begins (GroupStart has one extra sentinel entry = n,
+// so group g spans Order[GroupStart[g]:GroupStart[g+1]]).
+type SemisortResult struct {
+	Order      []int32
+	GroupStart []int32
+}
+
+// NumGroups reports the number of distinct keys found.
+func (r *SemisortResult) NumGroups() int { return len(r.GroupStart) - 1 }
+
+// Semisort groups indices by key: after the call, indices with equal keys[i]
+// are contiguous in Order, with no guarantee on inter-group order — exactly
+// the semisort semantics the paper uses for grid construction (Section 4.1).
+//
+// Implementation: hash every key with Mix64, radix sort index pairs by the low
+// 32 bits of the hash (O(n) work, constant passes), then split equal-hash runs
+// by the true key (runs are O(1) expected length) and emit group boundaries
+// with a parallel filter. Expected O(n) work, matching the bound in Table 1.
+func Semisort(keys []uint64) *SemisortResult {
+	n := len(keys)
+	if n == 0 {
+		return &SemisortResult{Order: nil, GroupStart: []int32{0}}
+	}
+	hashes := make([]uint64, n)
+	order := make([]int32, n)
+	parallel.For(n, func(i int) {
+		hashes[i] = Mix64(keys[i]) & 0xffffffff
+		order[i] = int32(i)
+	})
+	RadixSortPairs(hashes, order, 32)
+
+	// A position i starts a group iff its hash differs from the previous
+	// position's hash, or (rare 32-bit collision) hashes match but keys
+	// differ. Equal keys always have equal hashes, so they can only be
+	// interleaved with colliding different keys; fix those runs serially —
+	// they have O(1) expected length.
+	fixCollisionRuns(hashes, order, keys)
+
+	isStart := func(i int) bool {
+		if i == 0 {
+			return true
+		}
+		return keys[order[i]] != keys[order[i-1]]
+	}
+	starts := FilterIndex(n, isStart)
+	groupStart := make([]int32, len(starts)+1)
+	copy(groupStart, starts)
+	groupStart[len(starts)] = int32(n)
+	return &SemisortResult{Order: order, GroupStart: groupStart}
+}
+
+// fixCollisionRuns sorts, within each maximal run of equal hashes, the order
+// entries by true key so equal keys become contiguous.
+func fixCollisionRuns(hashes []uint64, order []int32, keys []uint64) {
+	n := len(hashes)
+	// Runs of length 1 (the common case) need no work. Detect run heads in
+	// parallel and process each run serially.
+	heads := FilterIndex(n, func(i int) bool {
+		return (i == 0 || hashes[i] != hashes[i-1]) &&
+			i+1 < n && hashes[i+1] == hashes[i]
+	})
+	parallel.ForGrain(len(heads), 1, func(h int) {
+		lo := int(heads[h])
+		hi := lo + 1
+		for hi < n && hashes[hi] == hashes[lo] {
+			hi++
+		}
+		run := order[lo:hi]
+		// Insertion sort by key: runs are tiny w.h.p.
+		for i := 1; i < len(run); i++ {
+			j := i
+			for j > 0 && keys[run[j]] < keys[run[j-1]] {
+				run[j], run[j-1] = run[j-1], run[j]
+				j--
+			}
+		}
+	})
+}

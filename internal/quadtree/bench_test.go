@@ -1,0 +1,63 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuildExact3D(b *testing.B) {
+	lo := []float64{0, 0, 0}
+	pts := cellPoints(50000, 3, lo, 10, 1)
+	idx := allIdx(pts.N)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		work := make([]int32, len(idx))
+		copy(work, idx)
+		Build(pts, work, lo, 10, -1)
+	}
+}
+
+func BenchmarkBuildApprox3D(b *testing.B) {
+	lo := []float64{0, 0, 0}
+	pts := cellPoints(50000, 3, lo, 10, 1)
+	idx := allIdx(pts.N)
+	depth := ApproxDepth(0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		work := make([]int32, len(idx))
+		copy(work, idx)
+		Build(pts, work, lo, 10, depth)
+	}
+}
+
+func BenchmarkCountWithin(b *testing.B) {
+	lo := []float64{0, 0, 0}
+	pts := cellPoints(50000, 3, lo, 10, 1)
+	tree := Build(pts, allIdx(pts.N), lo, 10, -1)
+	rng := rand.New(rand.NewSource(2))
+	queries := make([][]float64, 256)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.CountWithin(queries[i%len(queries)], 1.5)
+	}
+}
+
+func BenchmarkApproxAnyWithin(b *testing.B) {
+	lo := []float64{0, 0, 0}
+	pts := cellPoints(50000, 3, lo, 10, 1)
+	tree := Build(pts, allIdx(pts.N), lo, 10, ApproxDepth(0.01))
+	rng := rand.New(rand.NewSource(3))
+	queries := make([][]float64, 256)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 12, rng.Float64() * 12, rng.Float64() * 12}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.ApproxAnyWithin(queries[i%len(queries)], 1.5, 0.01)
+	}
+}

@@ -1,0 +1,347 @@
+// Package quadtree implements the per-cell quadtree of Section 5.2: a cell
+// cube of side eps/sqrt(d) is recursively divided into 2^d sub-cells, keeping
+// only non-empty children, until a leaf threshold is reached (exact tree) or
+// the side length drops to eps*rho/sqrt(d) (approximate tree, maximum depth
+// 1 + ceil(log2(1/rho))). Construction sorts the points of a node by child
+// index with the integer sort primitive, making the children contiguous
+// subarrays that are built in parallel. Nodes with a single non-empty child
+// are collapsed by descending directly into the occupied sub-cell, so every
+// materialized internal node has at least two non-empty children.
+package quadtree
+
+import (
+	"math"
+
+	"pdbscan/internal/geom"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+)
+
+// leafThreshold is the point count at or below which a node becomes a leaf
+// (the construction-time optimization described in Section 5.2).
+const leafThreshold = 16
+
+// hardMaxDepth bounds the descend loop for degenerate inputs (e.g. many
+// identical points).
+const hardMaxDepth = 64
+
+type node struct {
+	lo       []float64 // sub-cell corner (d coords)
+	side     float64   // sub-cell side length
+	start    int32     // range into tree idx
+	count    int32
+	children []*node // non-empty children; nil for leaves
+	capped   bool    // leaf due to the approximate depth cap
+}
+
+// Tree answers range-count queries over one cell's points.
+type Tree struct {
+	pts  geom.Points
+	idx  []int32
+	root *node
+}
+
+// Build constructs a quadtree over the given point indices, rooted at the
+// cube (boxLo, side). maxDepth < 0 builds the exact tree; maxDepth >= 0 also
+// stops subdividing after maxDepth levels (the approximate tree of Section
+// 5.2 uses ApproxDepth(rho)).
+func Build(pts geom.Points, idx []int32, boxLo []float64, side float64, maxDepth int) *Tree {
+	t := &Tree{pts: pts, idx: idx}
+	if len(idx) > 0 {
+		lo := make([]float64, pts.D)
+		copy(lo, boxLo)
+		t.root = t.build(lo, side, 0, int32(len(idx)), 0, maxDepth, parallel.Workers())
+	}
+	return t
+}
+
+// ApproxDepth returns the subdivision depth cap for approximation parameter
+// rho: ceil(log2(1/rho)) levels below the root, so the tree has
+// 1 + ceil(log2(1/rho)) levels as in the paper.
+func ApproxDepth(rho float64) int {
+	if rho <= 0 {
+		return -1
+	}
+	return int(math.Ceil(math.Log2(1 / rho)))
+}
+
+func (t *Tree) build(lo []float64, side float64, start, count int32, depth, maxDepth, budget int) *node {
+	d := t.pts.D
+	n := &node{lo: lo, side: side, start: start, count: count}
+	if count <= leafThreshold || depth >= hardMaxDepth {
+		return n
+	}
+	if maxDepth >= 0 && depth >= maxDepth {
+		n.capped = true
+		return n
+	}
+	// Descend until the points split into at least two different sub-cells.
+	sub := t.idx[start : start+count]
+	keys := make([]int32, count)
+	for {
+		first := t.childKey(sub[0], lo, side)
+		uniform := true
+		for i, p := range sub {
+			k := t.childKey(p, lo, side)
+			keys[i] = k
+			if k != first {
+				uniform = false
+			}
+		}
+		if !uniform {
+			break
+		}
+		// Single occupied sub-cell: shrink the box and re-split.
+		half := side / 2
+		for j := 0; j < d; j++ {
+			if first&(1<<j) != 0 {
+				lo[j] += half
+			}
+		}
+		side = half
+		depth++
+		if depth >= hardMaxDepth {
+			return n
+		}
+		if maxDepth >= 0 && depth >= maxDepth {
+			n.capped = true
+			return n
+		}
+	}
+
+	// Group the points by child index: parallel integer sort for large
+	// nodes, serial counting sort otherwise.
+	keyRange := 1 << d
+	if count >= 8192 && keyRange <= 256 {
+		prim.IntegerSort(keys, sub, keyRange)
+	} else {
+		countingSortByKey(keys, sub, keyRange)
+	}
+
+	// Children boundaries.
+	half := side / 2
+	type childRange struct {
+		key    int32
+		lo, hi int32
+	}
+	var ranges []childRange
+	for i := int32(0); i < count; {
+		j := i + 1
+		for j < count && keys[j] == keys[i] {
+			j++
+		}
+		ranges = append(ranges, childRange{key: keys[i], lo: i, hi: j})
+		i = j
+	}
+	n.children = make([]*node, len(ranges))
+	buildChild := func(k int) {
+		r := ranges[k]
+		cl := make([]float64, d)
+		copy(cl, lo)
+		for j := 0; j < d; j++ {
+			if r.key&(1<<j) != 0 {
+				cl[j] += half
+			}
+		}
+		n.children[k] = t.build(cl, half, start+r.lo, r.hi-r.lo, depth+1, maxDepth, 1)
+	}
+	if count > 4096 && budget > 1 {
+		parallel.ForGrain(len(ranges), 1, buildChild)
+	} else {
+		for k := range ranges {
+			buildChild(k)
+		}
+	}
+	return n
+}
+
+// childKey returns the sub-cell index of point p within (lo, side): bit j is
+// set iff coordinate j lies in the upper half.
+func (t *Tree) childKey(p int32, lo []float64, side float64) int32 {
+	row := t.pts.At(int(p))
+	half := side / 2
+	var k int32
+	for j, v := range row {
+		if v >= lo[j]+half {
+			k |= 1 << j
+		}
+	}
+	return k
+}
+
+// countingSortByKey stably sorts (keys, vals) by key with a serial counting
+// sort over [0, keyRange).
+func countingSortByKey(keys, vals []int32, keyRange int) {
+	counts := make([]int32, keyRange+1)
+	for _, k := range keys {
+		counts[k+1]++
+	}
+	for k := 0; k < keyRange; k++ {
+		counts[k+1] += counts[k]
+	}
+	outK := make([]int32, len(keys))
+	outV := make([]int32, len(vals))
+	for i, k := range keys {
+		w := counts[k]
+		counts[k] = w + 1
+		outK[w] = k
+		outV[w] = vals[i]
+	}
+	copy(keys, outK)
+	copy(vals, outV)
+}
+
+// Size returns the number of points in the tree.
+func (t *Tree) Size() int { return len(t.idx) }
+
+func (n *node) boxHi(d int) []float64 {
+	hi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		hi[j] = n.lo[j] + n.side
+	}
+	return hi
+}
+
+// CountWithin returns the exact number of points within distance r of q
+// (the RangeCount of Algorithm 2, quadtree version).
+func (t *Tree) CountWithin(q []float64, r float64) int {
+	if t.root == nil {
+		return 0
+	}
+	return t.countWithin(t.root, q, r*r)
+}
+
+func (t *Tree) countWithin(n *node, q []float64, r2 float64) int {
+	hi := n.boxHi(t.pts.D)
+	if geom.PointBoxDistSq(q, n.lo, hi) > r2 {
+		return 0
+	}
+	if geom.BoxMaxDistSq(q, n.lo, hi) <= r2 {
+		return int(n.count)
+	}
+	if n.children == nil {
+		c := 0
+		for _, p := range t.idx[n.start : n.start+n.count] {
+			if geom.DistSq(q, t.pts.At(int(p))) <= r2 {
+				c++
+			}
+		}
+		return c
+	}
+	total := 0
+	for _, ch := range n.children {
+		total += t.countWithin(ch, q, r2)
+	}
+	return total
+}
+
+// AnyWithin reports whether any point lies within distance r of q,
+// terminating as soon as a non-zero count can be determined (the optimized
+// connectivity query of Section 5.2, exact DBSCAN).
+func (t *Tree) AnyWithin(q []float64, r float64) bool {
+	if t.root == nil {
+		return false
+	}
+	return t.anyWithin(t.root, q, r*r)
+}
+
+func (t *Tree) anyWithin(n *node, q []float64, r2 float64) bool {
+	hi := n.boxHi(t.pts.D)
+	if geom.PointBoxDistSq(q, n.lo, hi) > r2 {
+		return false
+	}
+	if geom.BoxMaxDistSq(q, n.lo, hi) <= r2 {
+		return true // node is non-empty by construction
+	}
+	if n.children == nil {
+		for _, p := range t.idx[n.start : n.start+n.count] {
+			if geom.DistSq(q, t.pts.At(int(p))) <= r2 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ch := range n.children {
+		if t.anyWithin(ch, q, r2) {
+			return true
+		}
+	}
+	return false
+}
+
+// ApproxAnyWithin is the approximate RangeCount connectivity test of Section
+// 5.2: it returns true if some point lies within eps of q, false if no point
+// lies within eps*(1+rho), and either answer in between. The tree must have
+// been built with maxDepth = ApproxDepth(rho).
+func (t *Tree) ApproxAnyWithin(q []float64, eps, rho float64) bool {
+	if t.root == nil {
+		return false
+	}
+	return t.approxAny(t.root, q, eps*eps, eps*(1+rho)*eps*(1+rho))
+}
+
+func (t *Tree) approxAny(n *node, q []float64, eps2, relaxed2 float64) bool {
+	hi := n.boxHi(t.pts.D)
+	if geom.PointBoxDistSq(q, n.lo, hi) > eps2 {
+		return false
+	}
+	if geom.BoxMaxDistSq(q, n.lo, hi) <= relaxed2 {
+		return true // entire non-empty sub-cell inside the relaxed ball
+	}
+	if n.capped {
+		// Depth-cap leaf: side <= eps*rho/sqrt(d), so every point is within
+		// dist(q, box) + diameter <= eps(1+rho).
+		return true
+	}
+	if n.children == nil {
+		for _, p := range t.idx[n.start : n.start+n.count] {
+			if geom.DistSq(q, t.pts.At(int(p))) <= eps2 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ch := range n.children {
+		if t.approxAny(ch, q, eps2, relaxed2) {
+			return true
+		}
+	}
+	return false
+}
+
+// ApproxCountWithin returns an integer between the number of points within
+// eps of q and the number within eps*(1+rho) (Gan–Tao's approximate
+// RangeCount). Used by tests and by callers that need the count itself.
+func (t *Tree) ApproxCountWithin(q []float64, eps, rho float64) int {
+	if t.root == nil {
+		return 0
+	}
+	return t.approxCount(t.root, q, eps*eps, eps*(1+rho)*eps*(1+rho))
+}
+
+func (t *Tree) approxCount(n *node, q []float64, eps2, relaxed2 float64) int {
+	hi := n.boxHi(t.pts.D)
+	if geom.PointBoxDistSq(q, n.lo, hi) > eps2 {
+		return 0
+	}
+	if geom.BoxMaxDistSq(q, n.lo, hi) <= relaxed2 {
+		return int(n.count)
+	}
+	if n.capped {
+		return int(n.count)
+	}
+	if n.children == nil {
+		c := 0
+		for _, p := range t.idx[n.start : n.start+n.count] {
+			if geom.DistSq(q, t.pts.At(int(p))) <= eps2 {
+				c++
+			}
+		}
+		return c
+	}
+	total := 0
+	for _, ch := range n.children {
+		total += t.approxCount(ch, q, eps2, relaxed2)
+	}
+	return total
+}

@@ -1,0 +1,186 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pdbscan/internal/geom"
+)
+
+// cellPoints generates n random points inside the cube (lo, side) in d dims.
+func cellPoints(n, d int, lo []float64, side float64, seed int64) geom.Points {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n*d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			data[i*d+j] = lo[j] + rng.Float64()*side
+		}
+	}
+	return geom.Points{N: n, D: d, Data: data}
+}
+
+func allIdx(n int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return idx
+}
+
+func bruteCount(pts geom.Points, q []float64, r float64) int {
+	c := 0
+	r2 := r * r
+	for i := 0; i < pts.N; i++ {
+		if geom.DistSq(q, pts.At(i)) <= r2 {
+			c++
+		}
+	}
+	return c
+}
+
+func TestCountWithinMatchesBrute(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 7} {
+		lo := make([]float64, d)
+		side := 10.0
+		pts := cellPoints(3000, d, lo, side, int64(d))
+		tree := Build(pts, allIdx(pts.N), lo, side, -1)
+		rng := rand.New(rand.NewSource(50 + int64(d)))
+		for trial := 0; trial < 40; trial++ {
+			q := make([]float64, d)
+			for j := range q {
+				q[j] = rng.Float64()*20 - 5 // also query from outside the cube
+			}
+			r := rng.Float64() * 8
+			want := bruteCount(pts, q, r)
+			if got := tree.CountWithin(q, r); got != want {
+				t.Fatalf("d=%d trial=%d: count=%d want %d", d, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestAnyWithinMatchesCount(t *testing.T) {
+	d := 3
+	lo := make([]float64, d)
+	pts := cellPoints(2000, d, lo, 5.0, 9)
+	tree := Build(pts, allIdx(pts.N), lo, 5.0, -1)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		q := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		r := rng.Float64() * 3
+		want := bruteCount(pts, q, r) > 0
+		if got := tree.AnyWithin(q, r); got != want {
+			t.Fatalf("trial %d: AnyWithin=%v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestApproxCountSandwich(t *testing.T) {
+	for _, rho := range []float64{0.001, 0.01, 0.1, 0.5} {
+		d := 3
+		eps := 2.0
+		side := eps / math.Sqrt(float64(d))
+		lo := []float64{0, 0, 0}
+		pts := cellPoints(2000, d, lo, side, 77)
+		tree := Build(pts, allIdx(pts.N), lo, side, ApproxDepth(rho))
+		rng := rand.New(rand.NewSource(78))
+		for trial := 0; trial < 60; trial++ {
+			q := make([]float64, d)
+			for j := range q {
+				q[j] = rng.Float64()*3*side - side
+			}
+			lower := bruteCount(pts, q, eps)
+			upper := bruteCount(pts, q, eps*(1+rho))
+			got := tree.ApproxCountWithin(q, eps, rho)
+			if got < lower || got > upper {
+				t.Fatalf("rho=%v trial=%d: approx count %d outside [%d, %d]",
+					rho, trial, got, lower, upper)
+			}
+			gotAny := tree.ApproxAnyWithin(q, eps, rho)
+			if lower > 0 && !gotAny {
+				t.Fatalf("rho=%v trial=%d: ApproxAnyWithin false but %d points within eps", rho, trial, lower)
+			}
+			if upper == 0 && gotAny {
+				t.Fatalf("rho=%v trial=%d: ApproxAnyWithin true but none within eps(1+rho)", rho, trial)
+			}
+		}
+	}
+}
+
+func TestApproxDepth(t *testing.T) {
+	if got := ApproxDepth(1); got != 0 {
+		t.Fatalf("ApproxDepth(1) = %d, want 0", got)
+	}
+	if got := ApproxDepth(0.01); got != 7 {
+		t.Fatalf("ApproxDepth(0.01) = %d, want 7 (2^7=128 >= 100)", got)
+	}
+	if got := ApproxDepth(0); got != -1 {
+		t.Fatalf("ApproxDepth(0) = %d, want -1 (exact)", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	pts := geom.Points{N: 0, D: 2}
+	tree := Build(pts, nil, []float64{0, 0}, 1.0, -1)
+	if tree.CountWithin([]float64{0, 0}, 100) != 0 {
+		t.Fatal("empty tree counted points")
+	}
+	if tree.AnyWithin([]float64{0, 0}, 100) {
+		t.Fatal("empty tree AnyWithin true")
+	}
+	if tree.ApproxAnyWithin([]float64{0, 0}, 100, 0.1) {
+		t.Fatal("empty tree ApproxAnyWithin true")
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	// Degenerate input: the descend loop must terminate.
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{0.5, 0.5}
+	}
+	pts, _ := geom.FromRows(rows)
+	tree := Build(pts, allIdx(pts.N), []float64{0, 0}, 1.0, -1)
+	if got := tree.CountWithin([]float64{0.5, 0.5}, 0); got != 500 {
+		t.Fatalf("identical points count = %d, want 500", got)
+	}
+	if got := tree.CountWithin([]float64{2, 2}, 1); got != 0 {
+		t.Fatalf("far query count = %d, want 0", got)
+	}
+}
+
+func TestSubsetTree(t *testing.T) {
+	lo := []float64{0, 0}
+	pts := cellPoints(100, 2, lo, 4.0, 5)
+	idx := []int32{}
+	for i := 0; i < 100; i += 2 {
+		idx = append(idx, int32(i))
+	}
+	tree := Build(pts, idx, lo, 4.0, -1)
+	if tree.Size() != 50 {
+		t.Fatalf("size = %d", tree.Size())
+	}
+	got := tree.CountWithin([]float64{2, 2}, 100)
+	if got != 50 {
+		t.Fatalf("subset count = %d, want 50", got)
+	}
+}
+
+func TestHighDimensionalTree(t *testing.T) {
+	// d=10 exercises the 2^d child-key space (1024 children).
+	d := 10
+	lo := make([]float64, d)
+	pts := cellPoints(1500, d, lo, 6.0, 42)
+	tree := Build(pts, allIdx(pts.N), lo, 6.0, -1)
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = 3.0
+	}
+	for _, r := range []float64{0.5, 2, 5, 20} {
+		want := bruteCount(pts, q, r)
+		if got := tree.CountWithin(q, r); got != want {
+			t.Fatalf("r=%v: count %d want %d", r, got, want)
+		}
+	}
+}

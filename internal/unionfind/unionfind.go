@@ -1,0 +1,85 @@
+// Package unionfind implements the lock-free concurrent union-find structure
+// used by ClusterCore (Algorithm 3) to maintain cell-graph connected
+// components on the fly. Roots are linked by index order (higher-index root
+// is attached under the lower-index root) with CAS, which prevents cycles
+// without locks; Find uses path halving with atomic writes.
+//
+// This mirrors the paper's design point: the paper's union-find is lock-free,
+// in contrast to PDSDBSCAN's lock-based structure.
+package unionfind
+
+import "sync/atomic"
+
+// UF is a concurrent union-find over the elements [0, n).
+type UF struct {
+	parent []int32
+}
+
+// New creates a union-find with n singleton sets.
+func New(n int) *UF {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &UF{parent: p}
+}
+
+// Len returns the number of elements.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Find returns the representative of x's set. Safe for concurrent use with
+// Find and Union.
+func (u *UF) Find(x int32) int32 {
+	for {
+		p := atomic.LoadInt32(&u.parent[x])
+		if p == x {
+			return x
+		}
+		gp := atomic.LoadInt32(&u.parent[p])
+		if gp == p {
+			return p
+		}
+		// Path halving: benign CAS; failure means someone else compressed.
+		atomic.CompareAndSwapInt32(&u.parent[x], p, gp)
+		x = gp
+	}
+}
+
+// Union merges the sets containing x and y and returns the surviving root.
+// Lock-free: retries until the two roots agree or a CAS links them.
+func (u *UF) Union(x, y int32) int32 {
+	for {
+		rx := u.Find(x)
+		ry := u.Find(y)
+		if rx == ry {
+			return rx
+		}
+		// Link the higher-index root below the lower-index root. The CAS
+		// only succeeds if rx is still a root, preserving acyclicity.
+		if rx < ry {
+			rx, ry = ry, rx
+		}
+		if atomic.CompareAndSwapInt32(&u.parent[rx], rx, ry) {
+			return ry
+		}
+	}
+}
+
+// SameSet reports whether x and y are currently in the same set. In the
+// presence of concurrent Unions the answer is a snapshot; ClusterCore uses it
+// only as a pruning hint (a stale "false" costs one redundant connectivity
+// query, never correctness).
+func (u *UF) SameSet(x, y int32) bool {
+	for {
+		rx := u.Find(x)
+		ry := u.Find(y)
+		if rx == ry {
+			return true
+		}
+		// rx is a root at the time of the load below; if it still is, the
+		// answer "false" was true at that instant.
+		if atomic.LoadInt32(&u.parent[rx]) == rx {
+			return false
+		}
+	}
+}

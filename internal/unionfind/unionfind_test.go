@@ -1,0 +1,119 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+
+	"pdbscan/internal/parallel"
+)
+
+// serialDSU is an obviously-correct reference.
+type serialDSU struct{ p []int }
+
+func newSerialDSU(n int) *serialDSU {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &serialDSU{p}
+}
+func (d *serialDSU) find(x int) int {
+	for d.p[x] != x {
+		d.p[x] = d.p[d.p[x]]
+		x = d.p[x]
+	}
+	return x
+}
+func (d *serialDSU) union(x, y int) { d.p[d.find(x)] = d.find(y) }
+
+func TestMatchesSerialDSU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	uf := New(n)
+	ref := newSerialDSU(n)
+	for i := 0; i < 2000; i++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		uf.Union(int32(x), int32(y))
+		ref.union(x, y)
+	}
+	// Same partition: pairwise same-set relation must agree.
+	for i := 0; i < 200; i++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		got := uf.Find(int32(x)) == uf.Find(int32(y))
+		want := ref.find(x) == ref.find(y)
+		if got != want {
+			t.Fatalf("SameSet(%d,%d) = %v, want %v", x, y, got, want)
+		}
+	}
+}
+
+func TestConcurrentUnionsChain(t *testing.T) {
+	// Union i with i+1 concurrently; everything must end in one component.
+	n := 100000
+	uf := New(n)
+	parallel.For(n-1, func(i int) {
+		uf.Union(int32(i), int32(i+1))
+	})
+	root := uf.Find(0)
+	for i := 1; i < n; i += 997 {
+		if uf.Find(int32(i)) != root {
+			t.Fatalf("element %d not in root component", i)
+		}
+	}
+}
+
+func TestConcurrentUnionsRandom(t *testing.T) {
+	n := 50000
+	type edge struct{ u, v int32 }
+	rng := rand.New(rand.NewSource(2))
+	edges := make([]edge, 4*n)
+	for i := range edges {
+		edges[i] = edge{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	uf := New(n)
+	parallel.For(len(edges), func(i int) { uf.Union(edges[i].u, edges[i].v) })
+	ref := newSerialDSU(n)
+	for _, e := range edges {
+		ref.union(int(e.u), int(e.v))
+	}
+	// Compare partitions via canonical maps.
+	canonGot := map[int32]int32{}
+	canonWant := map[int]int{}
+	for i := 0; i < n; i++ {
+		rg := uf.Find(int32(i))
+		rw := ref.find(i)
+		if cg, ok := canonGot[rg]; ok {
+			if int(cg) != canonWant[rw] {
+				t.Fatalf("partition mismatch at %d", i)
+			}
+		} else {
+			if _, ok2 := canonWant[rw]; ok2 {
+				t.Fatalf("partition mismatch (split) at %d", i)
+			}
+			canonGot[rg] = int32(i)
+			canonWant[rw] = i
+		}
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	uf := New(4)
+	if uf.SameSet(0, 1) {
+		t.Fatal("fresh elements in same set")
+	}
+	uf.Union(0, 1)
+	if !uf.SameSet(0, 1) {
+		t.Fatal("union did not join")
+	}
+	if uf.SameSet(2, 3) {
+		t.Fatal("2,3 wrongly joined")
+	}
+}
+
+func TestUnionReturnsRoot(t *testing.T) {
+	uf := New(3)
+	r := uf.Union(2, 1)
+	if r != uf.Find(2) || r != uf.Find(1) {
+		t.Fatalf("returned %d which is not the common root", r)
+	}
+}

@@ -1,0 +1,32 @@
+package usec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuildEnvelope(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	us, vs := makeCell(10000, 2.0, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildEnvelope(us, vs, 2.0)
+	}
+}
+
+func BenchmarkCovers(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	us, vs := makeCell(10000, 2.0, rng)
+	e := BuildEnvelope(us, vs, 2.0)
+	queries := make([][2]float64, 256)
+	for i := range queries {
+		queries[i] = [2]float64{rng.Float64()*4 - 1, rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		e.Covers(q[0], q[1])
+	}
+}

@@ -1,0 +1,195 @@
+// Package usec implements the unit-spherical emptiness checking (USEC) with
+// line separation subroutine of Section 4.4 and Appendix A: given points on
+// one side of an axis-parallel line, build the wavefront — the upper envelope
+// of their eps-radius circles on the other side of the line — and answer
+// whether any query point on the other side lies inside the union of circles.
+//
+// Geometry is expressed in a canonical frame: centers have coordinates
+// (u, v), the separating line is horizontal, and queries come from v-above.
+// The appendix's uniqueness argument (equal-radius circles sorted by u cross
+// at most once) makes a monotone-stack construction exact: each new circle
+// caps or removes arcs from the right end of the envelope. Construction is
+// serial per cell but cells are processed in parallel by ClusterCore, and
+// queries are O(log m) binary searches (a documented substitution for the
+// balanced-tree split/join merge of the paper; answers are identical).
+package usec
+
+import (
+	"math"
+	"sort"
+)
+
+// Envelope is the wavefront of equal-radius circles: a sequence of arcs,
+// each owning an interval [Lo[i], Hi[i]] of u-coordinates (intervals are
+// non-overlapping and increasing, possibly with gaps when circles are
+// disjoint).
+type Envelope struct {
+	lo, hi []float64 // arc intervals
+	cu, cv []float64 // arc centers
+	r      float64
+}
+
+// BuildEnvelope constructs the wavefront for circles of radius r centered at
+// the given (u, v) points. The centers must be sorted by increasing u
+// (ties allowed; only the highest-v center of each distinct u contributes,
+// since its circle dominates the others above the line — Appendix A).
+func BuildEnvelope(us, vs []float64, r float64) *Envelope {
+	e := &Envelope{r: r}
+	n := len(us)
+	for i := 0; i < n; i++ {
+		// Deduplicate equal u: keep the maximum v (it dominates above the
+		// separating line for equal radii).
+		if i+1 < n && us[i+1] == us[i] {
+			continue
+		}
+		u, v := us[i], vs[i]
+		// Among equal u's we kept the last; ensure it is the max-v one.
+		for j := i; j >= 0 && us[j] == u; j-- {
+			if vs[j] > v {
+				v = vs[j]
+			}
+		}
+		e.push(u, v)
+	}
+	if k := len(e.lo); k > 0 {
+		e.hi[k-1] = e.cu[k-1] + r
+	}
+	return e
+}
+
+// push adds the circle centered at (u, v) to the right end of the envelope.
+func (e *Envelope) push(u, v float64) {
+	r := e.r
+	for len(e.lo) > 0 {
+		k := len(e.lo) - 1
+		tu, tv := e.cu[k], e.cv[k]
+		du, dv := u-tu, v-tv
+		d2 := du*du + dv*dv
+		if d2 < 4*r*r {
+			// Circles properly intersect. The upper-branch functions cross
+			// at the circle intersection with larger v — but only if that
+			// point actually lies on both upper branches (v at least both
+			// centers). Otherwise the higher circle dominates the entire
+			// shared domain.
+			d := math.Sqrt(d2)
+			h := math.Sqrt(r*r - d2/4)
+			crossU := (tu+u)/2 - h*dv/d
+			crossV := (tv+v)/2 + h*du/d
+			switch {
+			case dv > 0 && crossV < v:
+				// New circle dominates everywhere both are defined; it takes
+				// over from its own domain start.
+				start := u - r
+				if start <= e.lo[k] {
+					e.pop()
+					continue
+				}
+				e.hi[k] = start
+				e.append(u, v, start)
+			case dv < 0 && crossV < tv:
+				// Top circle dominates the shared domain; the new circle
+				// only survives past the top's natural end.
+				tEnd := tu + r
+				e.hi[k] = tEnd
+				lo := u - r
+				if lo < tEnd {
+					lo = tEnd
+				}
+				if lo >= u+r {
+					return // entirely dominated
+				}
+				e.append(u, v, lo)
+			default:
+				// Proper envelope crossing (Appendix A: unique).
+				if crossU <= e.lo[k] {
+					e.pop() // new circle dominates the whole top arc
+					continue
+				}
+				e.hi[k] = crossU
+				e.append(u, v, crossU)
+			}
+			return
+		}
+		// Disjoint (or tangent) circles: one dominates the shared u-range.
+		if dv > 0 {
+			// New circle is higher: it dominates the top arc from its own
+			// domain start onward (possibly leaving a gap if the domains
+			// are disjoint in u).
+			start := u - r
+			if start <= e.lo[k] {
+				e.pop()
+				continue
+			}
+			if end := tu + r; end < start {
+				e.hi[k] = end
+			} else {
+				e.hi[k] = start
+			}
+			e.append(u, v, start)
+			return
+		}
+		// New circle is lower or equal: it only survives past the top
+		// arc's natural end.
+		tEnd := tu + r
+		e.hi[k] = tEnd
+		lo := u - r
+		if lo < tEnd {
+			lo = tEnd
+		}
+		if lo >= u+r {
+			// Entirely dominated; the new circle contributes nothing.
+			return
+		}
+		e.append(u, v, lo)
+		return
+	}
+	e.append(u, v, u-r)
+}
+
+func (e *Envelope) append(u, v, lo float64) {
+	e.lo = append(e.lo, lo)
+	e.hi = append(e.hi, u+e.r) // provisional; capped when superseded
+	e.cu = append(e.cu, u)
+	e.cv = append(e.cv, v)
+}
+
+func (e *Envelope) pop() {
+	k := len(e.lo) - 1
+	e.lo = e.lo[:k]
+	e.hi = e.hi[:k]
+	e.cu = e.cu[:k]
+	e.cv = e.cv[:k]
+}
+
+// Len returns the number of arcs.
+func (e *Envelope) Len() int { return len(e.lo) }
+
+// Covers reports whether the query point (u, v) lies within distance r of
+// some envelope center. The USEC precondition must hold: v is on or above
+// the separating line, and every center is on or below it. Under that
+// precondition, checking the single arc that owns u is sufficient
+// (Appendix A / package comment).
+func (e *Envelope) Covers(u, v float64) bool {
+	n := len(e.lo)
+	if n == 0 {
+		return false
+	}
+	// Last arc with lo <= u.
+	i := sort.Search(n, func(k int) bool { return e.lo[k] > u }) - 1
+	if i < 0 || u > e.hi[i] {
+		return false
+	}
+	du, dv := u-e.cu[i], v-e.cv[i]
+	return du*du+dv*dv <= e.r*e.r
+}
+
+// CoversAny reports whether any of the query points lies inside the union of
+// circles, scanning with early exit.
+func (e *Envelope) CoversAny(us, vs []float64) bool {
+	for i := range us {
+		if e.Covers(us[i], vs[i]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+package usec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteCovers checks the union-of-disks membership directly.
+func bruteCovers(cus, cvs []float64, r, u, v float64) bool {
+	for i := range cus {
+		du, dv := u-cus[i], v-cvs[i]
+		if du*du+dv*dv <= r*r {
+			return true
+		}
+	}
+	return false
+}
+
+// makeCell generates centers in a square cell below the line v=0 (cell side
+// chosen so all pairwise distances are < r, like a DBSCAN cell), sorted by u.
+func makeCell(n int, r float64, rng *rand.Rand) (us, vs []float64) {
+	side := r / 1.5
+	us = make([]float64, n)
+	vs = make([]float64, n)
+	for i := range us {
+		us[i] = rng.Float64() * side
+		vs[i] = -rng.Float64() * side
+	}
+	sort.Sort(byU{us, vs})
+	return us, vs
+}
+
+type byU struct{ us, vs []float64 }
+
+func (b byU) Len() int           { return len(b.us) }
+func (b byU) Less(i, j int) bool { return b.us[i] < b.us[j] }
+func (b byU) Swap(i, j int) {
+	b.us[i], b.us[j] = b.us[j], b.us[i]
+	b.vs[i], b.vs[j] = b.vs[j], b.vs[i]
+}
+
+func TestCoversMatchesBruteForceDBSCANRegime(t *testing.T) {
+	// Centers confined to a cell below the line; queries above the line.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		r := 1 + rng.Float64()*3
+		n := 1 + rng.Intn(40)
+		us, vs := makeCell(n, r, rng)
+		e := BuildEnvelope(us, vs, r)
+		for q := 0; q < 50; q++ {
+			qu := rng.Float64()*8 - 3
+			qv := rng.Float64() * 3 // above the line v=0
+			want := bruteCovers(us, vs, r, qu, qv)
+			if got := e.Covers(qu, qv); got != want {
+				t.Fatalf("trial %d query %d: Covers(%v,%v)=%v want %v (n=%d r=%v)",
+					trial, q, qu, qv, got, want, n, r)
+			}
+		}
+	}
+}
+
+func TestCoversGeneralCentersWideSpread(t *testing.T) {
+	// Centers spread wider than a DBSCAN cell (exercises the disjoint-circle
+	// code paths, including gaps).
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		r := 0.5 + rng.Float64()
+		n := 1 + rng.Intn(30)
+		us := make([]float64, n)
+		vs := make([]float64, n)
+		for i := range us {
+			us[i] = rng.Float64() * 20 // wide spread -> disjoint circles
+			vs[i] = -rng.Float64() * 2
+		}
+		sort.Sort(byU{us, vs})
+		e := BuildEnvelope(us, vs, r)
+		for q := 0; q < 60; q++ {
+			qu := rng.Float64()*24 - 2
+			qv := rng.Float64() * 2
+			want := bruteCovers(us, vs, r, qu, qv)
+			if got := e.Covers(qu, qv); got != want {
+				t.Fatalf("trial %d: Covers(%v,%v)=%v want %v", trial, qu, qv, got, want)
+			}
+		}
+	}
+}
+
+func TestEqualUCentersDeduplicated(t *testing.T) {
+	// Vertically stacked centers: only the highest matters above the line.
+	us := []float64{1, 1, 1}
+	vs := []float64{-3, -1, -2}
+	e := BuildEnvelope(us, vs, 2)
+	if e.Len() != 1 {
+		t.Fatalf("arcs = %d, want 1", e.Len())
+	}
+	if !e.Covers(1, 0.9) { // within 2 of (1,-1)
+		t.Fatal("query near top center not covered")
+	}
+	if e.Covers(1, 1.1) {
+		t.Fatal("query beyond top circle covered")
+	}
+}
+
+func TestSingleCircle(t *testing.T) {
+	e := BuildEnvelope([]float64{0}, []float64{-1}, 2)
+	if e.Len() != 1 {
+		t.Fatalf("arcs = %d", e.Len())
+	}
+	cases := []struct {
+		u, v float64
+		want bool
+	}{
+		{0, 0, true}, // directly above center, dist 1
+		{0, 0.99, true},
+		{0, 1.01, false},
+		{1.9, 0, false}, // dist sqrt(1.9^2+1) > 2
+		{1.7, 0, true},  // dist sqrt(1.7^2+1) = 1.97 < 2
+		{-5, 0, false},  // outside arc range
+	}
+	for _, c := range cases {
+		if got := e.Covers(c.u, c.v); got != c.want {
+			t.Fatalf("Covers(%v,%v) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEmptyEnvelope(t *testing.T) {
+	e := BuildEnvelope(nil, nil, 1)
+	if e.Len() != 0 {
+		t.Fatalf("arcs = %d", e.Len())
+	}
+	if e.Covers(0, 0) {
+		t.Fatal("empty envelope covers a point")
+	}
+}
+
+func TestCoversAnyEarlyExit(t *testing.T) {
+	us := []float64{0, 1, 2}
+	vs := []float64{-1, -0.5, -1}
+	e := BuildEnvelope(us, vs, 1.5)
+	if !e.CoversAny([]float64{10, 1}, []float64{0, 0.5}) {
+		t.Fatal("CoversAny missed a covered point")
+	}
+	if e.CoversAny([]float64{10, 20}, []float64{0, 0}) {
+		t.Fatal("CoversAny claimed far points covered")
+	}
+}
+
+func TestArcsAreOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(50)
+		us, vs := makeCell(n, 2.0, rng)
+		e := BuildEnvelope(us, vs, 2.0)
+		for i := 0; i < e.Len(); i++ {
+			if e.hi[i] < e.lo[i]-1e-12 {
+				t.Fatalf("arc %d has hi < lo", i)
+			}
+			if i > 0 && e.lo[i] < e.hi[i-1]-1e-9 {
+				t.Fatalf("arc %d overlaps previous (lo=%v prev hi=%v)", i, e.lo[i], e.hi[i-1])
+			}
+		}
+	}
+}
+
+func TestDensePointsOnLine(t *testing.T) {
+	// Centers all at the same v: classic umbrella envelope.
+	n := 100
+	us := make([]float64, n)
+	vs := make([]float64, n)
+	for i := range us {
+		us[i] = float64(i) * 0.01
+		vs[i] = -0.5
+	}
+	e := BuildEnvelope(us, vs, 1)
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 200; q++ {
+		qu := rng.Float64()*3 - 1
+		qv := rng.Float64()
+		want := bruteCovers(us, vs, 1, qu, qv)
+		if got := e.Covers(qu, qv); got != want {
+			t.Fatalf("Covers(%v,%v)=%v want %v", qu, qv, got, want)
+		}
+	}
+}
