@@ -49,7 +49,7 @@ func BenchmarkTable1PrefixSum(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		prim.PrefixSum(a, out)
+		prim.PrefixSum(nil, a, out)
 	}
 }
 
@@ -60,7 +60,7 @@ func BenchmarkTable1Filter(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		prim.Filter(a, func(x int64) bool { return x%3 == 0 })
+		prim.Filter(nil, a, func(x int64) bool { return x%3 == 0 })
 	}
 }
 
@@ -74,7 +74,7 @@ func BenchmarkTable1ComparisonSort(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		copy(buf, src)
-		prim.Sort(buf, func(x, y int64) bool { return x < y })
+		prim.Sort(nil, buf, func(x, y int64) bool { return x < y })
 	}
 }
 
@@ -89,7 +89,7 @@ func BenchmarkTable1IntegerSort(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		copy(keys, src)
-		prim.RadixSortPairs(keys, vals, 16)
+		prim.RadixSortPairs(nil, keys, vals, 16)
 	}
 }
 
@@ -101,7 +101,7 @@ func BenchmarkTable1Semisort(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		prim.Semisort(keys)
+		prim.Semisort(nil, keys)
 	}
 }
 
@@ -117,7 +117,7 @@ func BenchmarkTable1Merge(b *testing.B) {
 	less := func(p, q int64) bool { return p < q }
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		prim.Merge(x, y, out, less)
+		prim.Merge(nil, x, y, out, less)
 	}
 }
 
@@ -148,7 +148,7 @@ func BenchmarkFig6TimeVsEps(b *testing.B) {
 		b.Run(fmt.Sprintf("hpdbscan/eps=%g", eps), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				baseline.HPDBSCAN(pts, eps, 10)
+				baseline.HPDBSCAN(nil, pts, eps, 10)
 			}
 		})
 	}
@@ -177,7 +177,7 @@ func BenchmarkFig8Scaling(b *testing.B) {
 	b.Run("seq-dbscan", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			baseline.Sequential(pts, 2000, 100)
+			baseline.Sequential(nil, pts, 2000, 100)
 		}
 	})
 }
@@ -238,7 +238,7 @@ func BenchmarkTable2LargeScale(b *testing.B) {
 		b.Run(ds.name+"/rpdbscan-sim", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				baseline.RPDBSCANSim(pts, ds.eps, 100, 8)
+				baseline.RPDBSCANSim(nil, pts, ds.eps, 100, 8)
 			}
 		})
 	}

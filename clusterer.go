@@ -1,0 +1,224 @@
+package pdbscan
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pdbscan/internal/core"
+	"pdbscan/internal/geom"
+	"pdbscan/internal/grid"
+	"pdbscan/internal/parallel"
+)
+
+// Clusterer holds the eps-dependent spatial structure — the cell partition
+// and its neighbor lists (Sections 4.1, 4.2, 5.1) — and answers repeated Run
+// calls against it. The structure depends only on the points and Eps, not on
+// MinPts, Method's connectivity strategy, Rho, or Bucketing, so a parameter
+// sweep over those (the workflow of Section 7 and of examples/paramsearch)
+// pays the grid construction once instead of once per run.
+//
+// A Clusterer is safe for concurrent use: Run calls may overlap freely, each
+// honoring its own Config.Workers budget. The cell structure for each layout
+// (grid, and box for 2D methods) is built lazily on the first Run that needs
+// it; concurrent first Runs block until the one build finishes.
+//
+// The points slice handed to NewClustererFlat (or the rows copied by
+// NewClusterer) must not be mutated while the Clusterer is in use.
+type Clusterer struct {
+	pts geom.Points
+	eps float64
+
+	grid lazyCells // grid layout (Section 4.1), any dimension
+	box  lazyCells // box layout (Section 4.2), 2D methods only
+
+	builds atomic.Int32 // number of cell-structure builds (for tests)
+}
+
+// lazyCells builds a cell structure at most once.
+type lazyCells struct {
+	once  sync.Once
+	cells *grid.Cells
+}
+
+// NewClusterer prepares a Clusterer for the given coordinate rows (all rows
+// must have the same dimensionality) at the given eps. The points are copied.
+func NewClusterer(points [][]float64, eps float64) (*Clusterer, error) {
+	pts, err := geom.FromRows(points)
+	if err != nil {
+		return nil, err
+	}
+	return newClusterer(pts, eps)
+}
+
+// NewClustererFlat prepares a Clusterer over n = len(data)/dims points stored
+// row-major in a flat slice, without copying. data must not be mutated while
+// the Clusterer is in use.
+func NewClustererFlat(data []float64, dims int, eps float64) (*Clusterer, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("pdbscan: dims must be positive, got %d", dims)
+	}
+	if len(data) == 0 || len(data)%dims != 0 {
+		return nil, fmt.Errorf("pdbscan: data length %d is not a positive multiple of dims %d", len(data), dims)
+	}
+	return newClusterer(geom.Points{N: len(data) / dims, D: dims, Data: data}, eps)
+}
+
+func newClusterer(pts geom.Points, eps float64) (*Clusterer, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("pdbscan: Eps must be positive, got %v", eps)
+	}
+	// Non-finite coordinates would corrupt the grid construction (NaN cell
+	// coordinates); reject them up front.
+	if bad := firstNonFinite(pts.Data); bad >= 0 {
+		return nil, fmt.Errorf("pdbscan: point %d has a non-finite coordinate (%v)",
+			bad/pts.D, pts.Data[bad])
+	}
+	return &Clusterer{pts: pts, eps: eps}, nil
+}
+
+// Eps returns the radius this Clusterer was built for.
+func (c *Clusterer) Eps() float64 { return c.eps }
+
+// NumPoints returns the number of points.
+func (c *Clusterer) NumPoints() int { return c.pts.N }
+
+// Dims returns the dimensionality of the points.
+func (c *Clusterer) Dims() int { return c.pts.D }
+
+// resolveMethod maps cfg.Method (defaulting by dimension) to the pipeline
+// strategies, reporting whether the 2D box layout is needed.
+func (c *Clusterer) resolveMethod(cfg *Config, params *core.Params) (useBox bool, err error) {
+	method := cfg.Method
+	if method == "" || method == MethodAuto {
+		if c.pts.D == 2 {
+			method = Method2DGridBCP
+		} else {
+			method = MethodExact
+		}
+	}
+	switch method {
+	case MethodExact:
+		params.Mark, params.Graph = core.MarkScan, core.GraphBCP
+	case MethodExactQt:
+		params.Mark, params.Graph = core.MarkQuadtree, core.GraphQuadtree
+	case MethodApprox:
+		params.Mark, params.Graph = core.MarkScan, core.GraphApprox
+	case MethodApproxQt:
+		params.Mark, params.Graph = core.MarkQuadtree, core.GraphApprox
+	case Method2DGridBCP, Method2DBoxBCP:
+		params.Mark, params.Graph = core.MarkScan, core.GraphBCP
+		useBox = method == Method2DBoxBCP
+	case Method2DGridUSEC, Method2DBoxUSEC:
+		params.Mark, params.Graph = core.MarkScan, core.GraphUSEC
+		useBox = method == Method2DBoxUSEC
+	case Method2DGridDelaunay, Method2DBoxDelaunay:
+		params.Mark, params.Graph = core.MarkScan, core.GraphDelaunay
+		useBox = method == Method2DBoxDelaunay
+	default:
+		return false, fmt.Errorf("pdbscan: unknown method %q", method)
+	}
+	if params.Graph == core.GraphApprox && params.Rho == 0 {
+		params.Rho = 0.01 // the paper's default
+	}
+	is2DOnly := method == Method2DGridBCP || method == Method2DGridUSEC ||
+		method == Method2DGridDelaunay || useBox
+	if is2DOnly && c.pts.D != 2 {
+		return false, fmt.Errorf("pdbscan: method %q requires 2-dimensional points, got d=%d", method, c.pts.D)
+	}
+	return useBox, nil
+}
+
+// cellsFor returns the cell structure for the requested layout, building it
+// on first use with the given executor.
+func (c *Clusterer) cellsFor(useBox bool, ex *parallel.Pool) *grid.Cells {
+	if useBox {
+		c.box.once.Do(func() {
+			c.builds.Add(1)
+			cells := grid.BuildBox2D(ex, c.pts, c.eps)
+			cells.ComputeNeighborsBox2D(ex)
+			c.box.cells = cells
+		})
+		return c.box.cells
+	}
+	c.grid.once.Do(func() {
+		c.builds.Add(1)
+		cells := grid.BuildGrid(ex, c.pts, c.eps)
+		// Offset enumeration is cheap in low dimensions; the k-d tree wins
+		// once (2*ceil(sqrt(d))+1)^d explodes (Section 5.1).
+		if c.pts.D <= 3 {
+			cells.ComputeNeighborsEnum(ex)
+		} else {
+			cells.ComputeNeighborsKD(ex)
+		}
+		c.grid.cells = cells
+	})
+	return c.grid.cells
+}
+
+// Prepare eagerly builds the cell structure cfg's Method needs (the grid
+// layout, or the 2D box layout for 2d-box-* methods) with cfg.Workers,
+// without clustering. The structure is otherwise built lazily by the first
+// Run that needs it — with that Run's worker budget. A sweep whose first Run
+// is deliberately narrow (Workers: 1) can call Prepare first so the
+// expensive construction still parallelizes. Calling Prepare when the
+// structure already exists is a no-op.
+func (c *Clusterer) Prepare(cfg Config) error {
+	if err := c.checkEps(cfg); err != nil {
+		return err
+	}
+	var params core.Params
+	useBox, err := c.resolveMethod(&cfg, &params)
+	if err != nil {
+		return err
+	}
+	c.cellsFor(useBox, parallel.NewPool(cfg.Workers))
+	return nil
+}
+
+func (c *Clusterer) checkEps(cfg Config) error {
+	if cfg.Eps != 0 && cfg.Eps != c.eps {
+		return fmt.Errorf("pdbscan: Clusterer built for Eps=%v cannot run with Eps=%v (create a new Clusterer)", c.eps, cfg.Eps)
+	}
+	return nil
+}
+
+// Run clusters the points with this Clusterer's precomputed cell structure.
+// cfg.Eps must be zero (meaning "the Clusterer's eps") or equal to Eps();
+// every other Config field is honored per call, including Workers — distinct
+// Run calls, even concurrent ones, never share parallelism state. The result
+// is identical to Cluster with the same Config.
+//
+// The cell structure is built lazily by the first Run that needs it, with
+// that Run's Workers budget; call Prepare to build it eagerly with a budget
+// of your choice.
+func (c *Clusterer) Run(cfg Config) (*Result, error) {
+	if err := c.checkEps(cfg); err != nil {
+		return nil, err
+	}
+	if cfg.MinPts < 1 {
+		return nil, fmt.Errorf("pdbscan: MinPts must be >= 1, got %d", cfg.MinPts)
+	}
+	ex := parallel.NewPool(cfg.Workers)
+	params := core.Params{
+		MinPts:    cfg.MinPts,
+		Rho:       cfg.Rho,
+		Bucketing: cfg.Bucketing,
+		Buckets:   cfg.Buckets,
+		Exec:      ex,
+	}
+	useBox, err := c.resolveMethod(&cfg, &params)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(c.cellsFor(useBox, ex), params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Labels:      res.Labels,
+		Core:        res.Core,
+		Border:      res.Border,
+		NumClusters: res.NumClusters,
+	}, nil
+}

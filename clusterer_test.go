@@ -1,0 +1,280 @@
+package pdbscan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// labelsEqual reports whether two results are identical clusterings
+// (including border multi-memberships).
+func labelsEqual(a, b *Result) error {
+	if a.NumClusters != b.NumClusters {
+		return fmt.Errorf("NumClusters %d vs %d", a.NumClusters, b.NumClusters)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			return fmt.Errorf("label of point %d: %d vs %d", i, a.Labels[i], b.Labels[i])
+		}
+		if a.Core[i] != b.Core[i] {
+			return fmt.Errorf("core flag of point %d: %v vs %v", i, a.Core[i], b.Core[i])
+		}
+	}
+	if len(a.Border) != len(b.Border) {
+		return fmt.Errorf("border map size %d vs %d", len(a.Border), len(b.Border))
+	}
+	for p, m := range a.Border {
+		bm := b.Border[p]
+		if len(m) != len(bm) {
+			return fmt.Errorf("border memberships of %d: %v vs %v", p, m, bm)
+		}
+		for k := range m {
+			if m[k] != bm[k] {
+				return fmt.Errorf("border memberships of %d: %v vs %v", p, m, bm)
+			}
+		}
+	}
+	return nil
+}
+
+// TestClustererSweepMatchesCluster checks the tentpole reuse property: a
+// MinPts/method sweep through one Clusterer must produce exactly the labels
+// of fresh one-shot Cluster calls.
+func TestClustererSweepMatchesCluster(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		rows := blobs(500, d, 7)
+		eps := 3.0
+		c, err := NewClusterer(rows, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		methods := []Method{MethodExact, MethodExactQt}
+		if d == 2 {
+			methods = append(methods, Method2DGridUSEC, Method2DBoxBCP, Method2DBoxDelaunay)
+		}
+		for _, m := range methods {
+			for _, minPts := range []int{3, 8, 25} {
+				cfg := Config{Eps: eps, MinPts: minPts, Method: m}
+				got, err := c.Run(cfg)
+				if err != nil {
+					t.Fatalf("d=%d %s minPts=%d: Run: %v", d, m, minPts, err)
+				}
+				want, err := Cluster(rows, cfg)
+				if err != nil {
+					t.Fatalf("d=%d %s minPts=%d: Cluster: %v", d, m, minPts, err)
+				}
+				if err := labelsEqual(got, want); err != nil {
+					t.Fatalf("d=%d %s minPts=%d: sweep result differs: %v", d, m, minPts, err)
+				}
+			}
+		}
+	}
+}
+
+// TestClustererReusesCellStructure checks that repeated Run calls do not
+// rebuild the grid: one build per layout, no matter how many runs.
+func TestClustererReusesCellStructure(t *testing.T) {
+	rows := blobs(400, 2, 11)
+	c, err := NewClusterer(rows, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, minPts := range []int{2, 5, 10, 20, 40} {
+		if _, err := c.Run(Config{MinPts: minPts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.builds.Load(); got != 1 {
+		t.Fatalf("grid layout built %d times across 5 runs, want 1", got)
+	}
+	// A box-layout method triggers exactly one more build.
+	for _, minPts := range []int{5, 10} {
+		if _, err := c.Run(Config{MinPts: minPts, Method: Method2DBoxBCP}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.builds.Load(); got != 2 {
+		t.Fatalf("builds = %d after box-method runs, want 2 (one per layout)", got)
+	}
+}
+
+// TestClustererPrepare checks that Prepare builds the layout eagerly (with
+// its own budget) and that subsequent Runs reuse it.
+func TestClustererPrepare(t *testing.T) {
+	rows := blobs(300, 2, 13)
+	c, err := NewClusterer(rows, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepare(Config{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.builds.Load(); got != 1 {
+		t.Fatalf("builds = %d after Prepare, want 1", got)
+	}
+	if _, err := c.Run(Config{MinPts: 5, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepare(Config{}); err != nil { // repeat: no-op
+		t.Fatal(err)
+	}
+	if got := c.builds.Load(); got != 1 {
+		t.Fatalf("builds = %d after Run+Prepare, want 1 (reused)", got)
+	}
+	if err := c.Prepare(Config{Eps: 99}); err == nil {
+		t.Fatal("Prepare with conflicting Eps accepted")
+	}
+	if err := c.Prepare(Config{Method: "nope"}); err == nil {
+		t.Fatal("Prepare with unknown method accepted")
+	}
+}
+
+// TestClustererEpsPinned checks that a Clusterer refuses a conflicting Eps
+// but accepts zero ("use mine") and its own value.
+func TestClustererEpsPinned(t *testing.T) {
+	rows := blobs(100, 2, 3)
+	c, err := NewClusterer(rows, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Eps() != 2.5 || c.NumPoints() != 100 || c.Dims() != 2 {
+		t.Fatalf("accessors: eps=%v n=%d d=%d", c.Eps(), c.NumPoints(), c.Dims())
+	}
+	if _, err := c.Run(Config{MinPts: 5}); err != nil {
+		t.Fatalf("Eps=0 should use the clusterer's eps: %v", err)
+	}
+	if _, err := c.Run(Config{Eps: 2.5, MinPts: 5}); err != nil {
+		t.Fatalf("matching Eps rejected: %v", err)
+	}
+	if _, err := c.Run(Config{Eps: 3.0, MinPts: 5}); err == nil {
+		t.Fatal("conflicting Eps accepted")
+	}
+	if _, err := c.Run(Config{MinPts: 0}); err == nil {
+		t.Fatal("MinPts=0 accepted")
+	}
+	if _, err := c.Run(Config{MinPts: 5, Method: "nope"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+// TestManyCellsOneCluster is the regression test for the coreLabels data
+// race: a single cluster spanning far more than 512 cells makes the
+// root-marking loop actually run in parallel with every iteration writing
+// the same root slot (caught by -race before the stores were atomic).
+func TestManyCellsOneCluster(t *testing.T) {
+	var rows [][]float64
+	for x := 0; x < 12; x++ {
+		for y := 0; y < 12; y++ {
+			for z := 0; z < 12; z++ {
+				rows = append(rows, []float64{float64(x), float64(y), float64(z)})
+			}
+		}
+	}
+	// eps 1.1 > lattice spacing 1: one connected cluster; cell side
+	// 1.1/sqrt(3) < 1 puts every point in its own cell (1728 cells > 512).
+	res, err := Cluster(rows, Config{Eps: 1.1, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 || res.NumNoise() != 0 {
+		t.Fatalf("clusters=%d noise=%d, want 1 cluster / 0 noise", res.NumClusters, res.NumNoise())
+	}
+}
+
+// TestConcurrentClusterDifferentWorkers runs overlapping one-shot Cluster
+// calls with different Workers budgets and checks every call still produces
+// the reference clustering. Under -race this is the regression test for the
+// old process-wide SetWorkers state (two concurrent calls used to fight over
+// one global cap).
+func TestConcurrentClusterDifferentWorkers(t *testing.T) {
+	rows := blobs(600, 3, 5)
+	cfg := Config{Eps: 3.0, MinPts: 8}
+	want, err := Cluster(rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for rep := 0; rep < 4; rep++ {
+		for _, workers := range []int{1, 2, 3, 7} {
+			wg.Add(1)
+			go func(workers int) {
+				defer wg.Done()
+				c := cfg
+				c.Workers = workers
+				got, err := Cluster(rows, c)
+				if err != nil {
+					errs <- fmt.Errorf("workers=%d: %v", workers, err)
+					return
+				}
+				if err := labelsEqual(got, want); err != nil {
+					errs <- fmt.Errorf("workers=%d: %v", workers, err)
+				}
+			}(workers)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestClustererConcurrentRuns exercises concurrent Run calls on one shared
+// Clusterer — including the racy first calls that trigger the lazy cell
+// build — with different Workers, MinPts, and methods per call.
+func TestClustererConcurrentRuns(t *testing.T) {
+	rows := blobs(600, 2, 9)
+	eps := 3.0
+	c, err := NewClusterer(rows, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type job struct {
+		minPts  int
+		method  Method
+		workers int
+	}
+	jobs := []job{
+		{5, MethodExact, 1},
+		{5, Method2DGridBCP, 3},
+		{12, Method2DGridUSEC, 2},
+		{12, Method2DBoxBCP, 4},
+		{25, Method2DBoxUSEC, 1},
+		{25, MethodExactQt, 0},
+	}
+	want := make([]*Result, len(jobs))
+	for i, j := range jobs {
+		w, err := Cluster(rows, Config{Eps: eps, MinPts: j.minPts, Method: j.method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(jobs))
+	for rep := 0; rep < 2; rep++ {
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, j job) {
+				defer wg.Done()
+				got, err := c.Run(Config{MinPts: j.minPts, Method: j.method, Workers: j.workers})
+				if err != nil {
+					errs <- fmt.Errorf("job %d: %v", i, err)
+					return
+				}
+				if err := labelsEqual(got, want[i]); err != nil {
+					errs <- fmt.Errorf("job %d (%s minPts=%d): %v", i, j.method, j.minPts, err)
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := c.builds.Load(); got != 2 {
+		t.Errorf("builds = %d across 12 concurrent runs, want 2 (one per layout)", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"pdbscan/internal/core"
 	"pdbscan/internal/grid"
+	"pdbscan/internal/parallel"
 )
 
 // expAblation isolates the design choices DESIGN.md calls out, holding
@@ -25,13 +26,13 @@ func expAblation(o options) {
 	for _, dsName := range []string{"ss-simden-3d", "ss-simden-5d", "ss-simden-7d"} {
 		eps := map[string]float64{"ss-simden-3d": 1000, "ss-simden-5d": 1000, "ss-simden-7d": 2000}[dsName]
 		pts := loadDataset(dsName, o.n, o.seed)
-		cEnum := grid.BuildGrid(pts, eps)
+		cEnum := grid.BuildGrid(parallel.Default(), pts, eps)
 		start := time.Now()
-		cEnum.ComputeNeighborsEnum()
+		cEnum.ComputeNeighborsEnum(parallel.Default())
 		enumTime := time.Since(start)
-		cKD := grid.BuildGrid(pts, eps)
+		cKD := grid.BuildGrid(parallel.Default(), pts, eps)
 		start = time.Now()
-		cKD.ComputeNeighborsKD()
+		cKD.ComputeNeighborsKD(parallel.Default())
 		kdTime := time.Since(start)
 		t.add(dsName, fmtDur(enumTime), fmtDur(kdTime), fmt.Sprintf("%d", cEnum.NumCells()))
 	}
@@ -51,11 +52,11 @@ func expAblation(o options) {
 		{"uniform-5d", 100, 100},
 	} {
 		pts := loadDataset(cfg.name, o.n, o.seed)
-		cells := grid.BuildGrid(pts, cfg.eps)
+		cells := grid.BuildGrid(parallel.Default(), pts, cfg.eps)
 		if pts.D <= 3 {
-			cells.ComputeNeighborsEnum()
+			cells.ComputeNeighborsEnum(parallel.Default())
 		} else {
-			cells.ComputeNeighborsKD()
+			cells.ComputeNeighborsKD(parallel.Default())
 		}
 		times := map[core.MarkStrategy]time.Duration{}
 		for _, mark := range []core.MarkStrategy{core.MarkScan, core.MarkQuadtree} {
@@ -88,8 +89,8 @@ func expAblation(o options) {
 		{"geolife", 40, 100},
 	} {
 		pts := loadDataset(cfg.name, o.n, o.seed)
-		cells := grid.BuildGrid(pts, cfg.eps)
-		cells.ComputeNeighborsEnum()
+		cells := grid.BuildGrid(parallel.Default(), pts, cfg.eps)
+		cells.ComputeNeighborsEnum(parallel.Default())
 		cells2 := cells
 		run := func(bucketing bool, nb int) time.Duration {
 			start := time.Now()

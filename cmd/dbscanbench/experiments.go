@@ -8,6 +8,7 @@ import (
 	"pdbscan/internal/baseline"
 	"pdbscan/internal/dataset"
 	"pdbscan/internal/geom"
+	"pdbscan/internal/parallel"
 )
 
 // dsConfig is a dataset plus its default parameters (scaled analogues of the
@@ -373,8 +374,8 @@ func expTable2(o options) {
 		{"teraclick", []float64{1500, 3000, 6000, 12000}, 100},
 	}
 	parts := runtime.NumCPU()
-	rp := variant{name: "rpdbscan-sim", run: func(pts geom.Points, eps float64, minPts int, _ float64) int {
-		return baseline.RPDBSCANSim(pts, eps, minPts, parts).NumClusters
+	rp := variant{name: "rpdbscan-sim", run: func(pts geom.Points, eps float64, minPts int, _ float64, workers int) int {
+		return baseline.RPDBSCANSim(parallel.NewPool(workers), pts, eps, minPts, parts).NumClusters
 	}}
 	our := methodVariant("our-exact", "exact", false)
 	for _, cfg := range configs {

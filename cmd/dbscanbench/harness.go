@@ -11,19 +11,22 @@ import (
 	"pdbscan/internal/parallel"
 )
 
-// variant is one named algorithm configuration (Section 7.1 naming).
+// variant is one named algorithm configuration (Section 7.1 naming). run
+// receives the worker budget for this invocation; implementations thread it
+// through as a per-run executor (there is no process-wide worker state).
 type variant struct {
 	name   string
 	serial bool // always runs single-threaded (the sequential baseline)
-	run    func(pts geom.Points, eps float64, minPts int, rho float64) int
+	run    func(pts geom.Points, eps float64, minPts int, rho float64, workers int) int
 }
 
 func methodVariant(name string, m pdbscan.Method, bucketing bool) variant {
 	return variant{
 		name: name,
-		run: func(pts geom.Points, eps float64, minPts int, rho float64) int {
+		run: func(pts geom.Points, eps float64, minPts int, rho float64, workers int) int {
 			res, err := pdbscan.ClusterFlat(pts.Data, pts.D, pdbscan.Config{
 				Eps: eps, MinPts: minPts, Method: m, Rho: rho, Bucketing: bucketing,
+				Workers: workers,
 			})
 			if err != nil {
 				panic(err)
@@ -50,19 +53,19 @@ func ourVariants() []variant {
 // baselineVariants are the parallel comparison implementations.
 func baselineVariants() []variant {
 	return []variant{
-		{name: "hpdbscan", run: func(pts geom.Points, eps float64, minPts int, _ float64) int {
-			return baseline.HPDBSCAN(pts, eps, minPts).NumClusters
+		{name: "hpdbscan", run: func(pts geom.Points, eps float64, minPts int, _ float64, workers int) int {
+			return baseline.HPDBSCAN(parallel.NewPool(workers), pts, eps, minPts).NumClusters
 		}},
-		{name: "pdsdbscan", run: func(pts geom.Points, eps float64, minPts int, _ float64) int {
-			return baseline.PDSDBSCAN(pts, eps, minPts).NumClusters
+		{name: "pdsdbscan", run: func(pts geom.Points, eps float64, minPts int, _ float64, workers int) int {
+			return baseline.PDSDBSCAN(parallel.NewPool(workers), pts, eps, minPts).NumClusters
 		}},
 	}
 }
 
 func seqVariant() variant {
 	return variant{name: "seq-dbscan", serial: true,
-		run: func(pts geom.Points, eps float64, minPts int, _ float64) int {
-			return baseline.Sequential(pts, eps, minPts).NumClusters
+		run: func(pts geom.Points, eps float64, minPts int, _ float64, workers int) int {
+			return baseline.Sequential(parallel.NewPool(workers), pts, eps, minPts).NumClusters
 		}}
 }
 
@@ -79,21 +82,18 @@ func twoDVariants() []variant {
 }
 
 // timeVariant runs v once and reports (elapsed, clusters). Thread count is
-// pinned via GOMAXPROCS + the scheduler cap.
+// pinned via GOMAXPROCS (so the Go runtime really uses that many CPUs) and
+// passed to the variant as its per-run worker budget.
 func timeVariant(v variant, pts geom.Points, eps float64, minPts int, rho float64, threads int) (time.Duration, int) {
 	if v.serial {
 		threads = 1
 	}
 	if threads > 0 {
 		old := runtime.GOMAXPROCS(threads)
-		oldW := parallel.SetWorkers(threads)
-		defer func() {
-			runtime.GOMAXPROCS(old)
-			parallel.SetWorkers(oldW)
-		}()
+		defer runtime.GOMAXPROCS(old)
 	}
 	start := time.Now()
-	clusters := v.run(pts, eps, minPts, rho)
+	clusters := v.run(pts, eps, minPts, rho, threads)
 	return time.Since(start), clusters
 }
 

@@ -31,41 +31,41 @@ func expTable1(o options) {
 	// merge row measures).
 	sortedA := append([]int64{}, ints[:n/2]...)
 	sortedB := append([]int64{}, ints[n/2:]...)
-	prim.Sort(sortedA, func(x, y int64) bool { return x < y })
-	prim.Sort(sortedB, func(x, y int64) bool { return x < y })
+	prim.Sort(nil, sortedA, func(x, y int64) bool { return x < y })
+	prim.Sort(nil, sortedB, func(x, y int64) bool { return x < y })
 
 	type primBench struct {
 		name string
-		run  func()
+		run  func(ex *parallel.Pool)
 	}
 	benches := []primBench{
-		{"prefix sum", func() {
+		{"prefix sum", func(ex *parallel.Pool) {
 			buf := make([]int64, n)
-			prim.PrefixSum(ints, buf)
+			prim.PrefixSum(ex, ints, buf)
 		}},
-		{"filter", func() {
-			prim.Filter(ints, func(x int64) bool { return x%3 == 0 })
+		{"filter", func(ex *parallel.Pool) {
+			prim.Filter(ex, ints, func(x int64) bool { return x%3 == 0 })
 		}},
-		{"comparison sort", func() {
+		{"comparison sort", func(ex *parallel.Pool) {
 			a := append([]int64{}, ints...)
-			prim.Sort(a, func(x, y int64) bool { return x < y })
+			prim.Sort(ex, a, func(x, y int64) bool { return x < y })
 		}},
-		{"integer sort (radix)", func() {
+		{"integer sort (radix)", func(ex *parallel.Pool) {
 			k := append([]uint64{}, keys...)
 			v := make([]int32, n)
-			prim.RadixSortPairs(k, v, 32)
+			prim.RadixSortPairs(ex, k, v, 32)
 		}},
-		{"semisort", func() {
-			prim.Semisort(keys)
+		{"semisort", func(ex *parallel.Pool) {
+			prim.Semisort(ex, keys)
 		}},
-		{"merge", func() {
+		{"merge", func(ex *parallel.Pool) {
 			out := make([]int64, n)
-			prim.Merge(sortedA, sortedB, out, func(x, y int64) bool { return x < y })
+			prim.Merge(ex, sortedA, sortedB, out, func(x, y int64) bool { return x < y })
 		}},
-		{"hash table (insert+lookup)", func() {
+		{"hash table (insert+lookup)", func(ex *parallel.Pool) {
 			tb := hashtable.NewU64(n / 4)
-			parallel.For(n/4, func(i int) { tb.Insert(uint64(i)*0x9e3779b97f4a7c15+1, int32(i)) })
-			parallel.For(n/4, func(i int) { tb.Lookup(uint64(i)*0x9e3779b97f4a7c15 + 1) })
+			ex.For(n/4, func(i int) { tb.Insert(uint64(i)*0x9e3779b97f4a7c15+1, int32(i)) })
+			ex.For(n/4, func(i int) { tb.Lookup(uint64(i)*0x9e3779b97f4a7c15 + 1) })
 		}},
 	}
 
@@ -81,18 +81,15 @@ func expTable1(o options) {
 	t.print()
 }
 
-func timePrimitive(f func(), threads int) time.Duration {
+func timePrimitive(f func(ex *parallel.Pool), threads int) time.Duration {
 	old := runtime.GOMAXPROCS(threads)
-	oldW := parallel.SetWorkers(threads)
-	defer func() {
-		runtime.GOMAXPROCS(old)
-		parallel.SetWorkers(oldW)
-	}()
+	defer runtime.GOMAXPROCS(old)
+	ex := parallel.NewPool(threads)
 	// Best of 3 runs.
 	best := time.Duration(0)
 	for i := 0; i < 3; i++ {
 		start := time.Now()
-		f()
+		f(ex)
 		if d := time.Since(start); i == 0 || d < best {
 			best = d
 		}

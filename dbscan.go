@@ -14,18 +14,25 @@
 //	res, err := pdbscan.Cluster(points, pdbscan.Config{Eps: 10, MinPts: 100})
 //	// res.Labels[i] is point i's cluster (-1 = noise)
 //
+// For parameter sweeps (MinPts, Method, Rho) over the same points at one Eps,
+// build a Clusterer once and call Run repeatedly — the eps-keyed cell
+// structure is built a single time and shared across runs:
+//
+//	c, err := pdbscan.NewClusterer(points, 10)
+//	for _, minPts := range []int{10, 50, 100} {
+//		res, err := c.Run(pdbscan.Config{MinPts: minPts})
+//		...
+//	}
+//
 // All methods run in parallel over the available CPUs; Config.Workers caps
-// the parallelism (used by the benchmark harness for scaling experiments).
+// the parallelism of that one call. The cap is carried by a per-run executor
+// (internal/parallel.Pool), never by process-wide state, so any number of
+// Cluster and Clusterer.Run calls may run concurrently — each honors its own
+// Workers budget.
 package pdbscan
 
 import (
-	"fmt"
 	"math"
-
-	"pdbscan/internal/core"
-	"pdbscan/internal/geom"
-	"pdbscan/internal/grid"
-	"pdbscan/internal/parallel"
 )
 
 // firstNonFinite returns the index of the first NaN/Inf value in data, or -1.
@@ -157,114 +164,24 @@ func (r *Result) CoreOnlyLabels() []int32 {
 }
 
 // Cluster runs DBSCAN over points given as coordinate rows (all rows must
-// have the same dimensionality).
+// have the same dimensionality). It is a one-shot wrapper around Clusterer;
+// to run several configurations over the same points at one Eps (a MinPts,
+// Method, or Rho sweep), create a Clusterer once and call Run repeatedly.
 func Cluster(points [][]float64, cfg Config) (*Result, error) {
-	pts, err := geom.FromRows(points)
+	c, err := NewClusterer(points, cfg.Eps)
 	if err != nil {
 		return nil, err
 	}
-	return run(pts, cfg)
+	return c.Run(cfg)
 }
 
 // ClusterFlat runs DBSCAN over n = len(data)/dims points stored row-major in
 // a flat slice, avoiding the copy of Cluster. data must not be mutated while
 // clustering runs.
 func ClusterFlat(data []float64, dims int, cfg Config) (*Result, error) {
-	if dims <= 0 {
-		return nil, fmt.Errorf("pdbscan: dims must be positive, got %d", dims)
-	}
-	if len(data) == 0 || len(data)%dims != 0 {
-		return nil, fmt.Errorf("pdbscan: data length %d is not a positive multiple of dims %d", len(data), dims)
-	}
-	pts := geom.Points{N: len(data) / dims, D: dims, Data: data}
-	return run(pts, cfg)
-}
-
-func run(pts geom.Points, cfg Config) (*Result, error) {
-	if cfg.Eps <= 0 {
-		return nil, fmt.Errorf("pdbscan: Eps must be positive, got %v", cfg.Eps)
-	}
-	if cfg.MinPts < 1 {
-		return nil, fmt.Errorf("pdbscan: MinPts must be >= 1, got %d", cfg.MinPts)
-	}
-	// Non-finite coordinates would corrupt the grid construction (NaN cell
-	// coordinates); reject them up front.
-	if bad := firstNonFinite(pts.Data); bad >= 0 {
-		return nil, fmt.Errorf("pdbscan: point %d has a non-finite coordinate (%v)",
-			bad/pts.D, pts.Data[bad])
-	}
-	method := cfg.Method
-	if method == "" || method == MethodAuto {
-		if pts.D == 2 {
-			method = Method2DGridBCP
-		} else {
-			method = MethodExact
-		}
-	}
-	if cfg.Workers > 0 {
-		old := parallel.SetWorkers(cfg.Workers)
-		defer parallel.SetWorkers(old)
-	}
-
-	params := core.Params{
-		MinPts:    cfg.MinPts,
-		Rho:       cfg.Rho,
-		Bucketing: cfg.Bucketing,
-		Buckets:   cfg.Buckets,
-	}
-	useBox := false
-	switch method {
-	case MethodExact:
-		params.Mark, params.Graph = core.MarkScan, core.GraphBCP
-	case MethodExactQt:
-		params.Mark, params.Graph = core.MarkQuadtree, core.GraphQuadtree
-	case MethodApprox:
-		params.Mark, params.Graph = core.MarkScan, core.GraphApprox
-	case MethodApproxQt:
-		params.Mark, params.Graph = core.MarkQuadtree, core.GraphApprox
-	case Method2DGridBCP, Method2DBoxBCP:
-		params.Mark, params.Graph = core.MarkScan, core.GraphBCP
-		useBox = method == Method2DBoxBCP
-	case Method2DGridUSEC, Method2DBoxUSEC:
-		params.Mark, params.Graph = core.MarkScan, core.GraphUSEC
-		useBox = method == Method2DBoxUSEC
-	case Method2DGridDelaunay, Method2DBoxDelaunay:
-		params.Mark, params.Graph = core.MarkScan, core.GraphDelaunay
-		useBox = method == Method2DBoxDelaunay
-	default:
-		return nil, fmt.Errorf("pdbscan: unknown method %q", method)
-	}
-	if params.Graph == core.GraphApprox && params.Rho == 0 {
-		params.Rho = 0.01 // the paper's default
-	}
-	is2DOnly := method == Method2DGridBCP || method == Method2DGridUSEC ||
-		method == Method2DGridDelaunay || useBox
-	if is2DOnly && pts.D != 2 {
-		return nil, fmt.Errorf("pdbscan: method %q requires 2-dimensional points, got d=%d", method, pts.D)
-	}
-
-	var cells *grid.Cells
-	if useBox {
-		cells = grid.BuildBox2D(pts, cfg.Eps)
-		cells.ComputeNeighborsBox2D()
-	} else {
-		cells = grid.BuildGrid(pts, cfg.Eps)
-		// Offset enumeration is cheap in low dimensions; the k-d tree wins
-		// once (2*ceil(sqrt(d))+1)^d explodes (Section 5.1).
-		if pts.D <= 3 {
-			cells.ComputeNeighborsEnum()
-		} else {
-			cells.ComputeNeighborsKD()
-		}
-	}
-	res, err := core.Run(cells, params)
+	c, err := NewClustererFlat(data, dims, cfg.Eps)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Labels:      res.Labels,
-		Core:        res.Core,
-		Border:      res.Border,
-		NumClusters: res.NumClusters,
-	}, nil
+	return c.Run(cfg)
 }

@@ -28,6 +28,31 @@ func Example_approximate() {
 	// Output: clusters: 2
 }
 
+// Demonstrates the reusable Clusterer: the eps-keyed cell structure is built
+// once and shared by every Run in the MinPts sweep, and each Run may use its
+// own Workers budget — even from concurrent goroutines.
+func ExampleClusterer() {
+	var points [][]float64
+	for i := 0; i < 12; i++ {
+		points = append(points, []float64{float64(i%3) * 0.1, 0}) // dense blob
+		points = append(points, []float64{40, float64(i) * 9})    // sparse column
+	}
+	c, err := pdbscan.NewClusterer(points, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	for _, minPts := range []int{4, 13} {
+		res, err := c.Run(pdbscan.Config{MinPts: minPts, Workers: 2})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("minPts=%d: clusters=%d noise=%d\n", minPts, res.NumClusters, res.NumNoise())
+	}
+	// Output:
+	// minPts=4: clusters=1 noise=12
+	// minPts=13: clusters=0 noise=24
+}
+
 // Demonstrates selecting a 2D-specific variant and the flat input form.
 func ExampleClusterFlat() {
 	// Two clusters on a line, stored row-major: (0,0) (1,0) ... (10,0) (11,0) ...

@@ -1,8 +1,13 @@
 // Paramsearch: the paper chooses eps/minPts per dataset by searching for the
 // parameters that "output a correct clustering" (Section 7). This example
-// shows that workflow with the library: sweep eps at a fixed minPts, watch
-// cluster count and noise fraction, and pick the plateau — the eps range
-// where the cluster count is stable is the natural operating point.
+// shows that workflow with the library in two stages:
+//
+//  1. an eps sweep at fixed minPts with one-shot Cluster calls (each eps
+//     needs its own cell structure, so there is nothing to reuse), picking
+//     the plateau — the eps range where the cluster count is stable;
+//  2. a minPts sweep at the chosen eps through a single Clusterer, which
+//     builds the eps-keyed grid once and reuses it for every run — the
+//     second stage is nearly free compared to re-clustering from scratch.
 package main
 
 import (
@@ -16,9 +21,10 @@ import (
 func main() {
 	const n = 100000
 	pts := dataset.SeedSpreader(dataset.SeedSpreaderConfig{N: n, D: 3, Seed: 9})
+
+	// --- Stage 1: eps sweep (fresh structure per eps) ---
 	fmt.Printf("SS-simden-3D: %d points; sweeping eps at minPts=100\n", pts.N)
 	fmt.Printf("%-10s %-10s %-10s %-12s %s\n", "eps", "clusters", "noise%", "largest%", "time")
-
 	minPts := 100
 	for _, eps := range []float64{10, 25, 50, 100, 400, 1000, 2000, 3000} {
 		start := time.Now()
@@ -43,4 +49,28 @@ func main() {
 	fmt.Println()
 	fmt.Println("pick the eps plateau: the cluster count stabilizes at the generator's")
 	fmt.Println("true cluster count (~10) with low noise, before over-merging begins")
+	fmt.Println()
+
+	// --- Stage 2: minPts sweep at the chosen eps, one Clusterer ---
+	const chosenEps = 1000.0
+	fmt.Printf("sweeping minPts at eps=%g through one Clusterer (grid built once)\n", chosenEps)
+	fmt.Printf("%-10s %-10s %-10s %s\n", "minPts", "clusters", "noise%", "time")
+	c, err := pdbscan.NewClustererFlat(pts.Data, pts.D, chosenEps)
+	if err != nil {
+		panic(err)
+	}
+	for _, mp := range []int{10, 50, 100, 500, 1000, 5000} {
+		start := time.Now()
+		res, err := c.Run(pdbscan.Config{MinPts: mp, Method: pdbscan.MethodExact, Bucketing: true})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10d %-10d %-10.1f %v\n",
+			mp, res.NumClusters,
+			100*float64(res.NumNoise())/float64(n),
+			time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println()
+	fmt.Println("the first Run pays the grid + neighbor construction; later Runs reuse it")
+	fmt.Println("and only redo MarkCore/ClusterCore/ClusterBorder at the new minPts")
 }

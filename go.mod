@@ -1,0 +1,3 @@
+module pdbscan
+
+go 1.24

@@ -23,7 +23,6 @@ import (
 	"pdbscan/internal/grid"
 	"pdbscan/internal/kdtree"
 	"pdbscan/internal/parallel"
-	"pdbscan/internal/prim"
 	"pdbscan/internal/unionfind"
 )
 
@@ -37,8 +36,8 @@ type Result struct {
 // Sequential runs the classic DBSCAN algorithm (Ester et al.) with a k-d
 // tree index: scan points, expand each unvisited core point's cluster with a
 // FIFO queue of eps-neighborhood queries. O(n * query) work, sequential.
-func Sequential(pts geom.Points, eps float64, minPts int) *Result {
-	tree := kdtree.Build(pts)
+func Sequential(ex *parallel.Pool, pts geom.Points, eps float64, minPts int) *Result {
+	tree := kdtree.Build(ex, pts)
 	n := pts.N
 	labels := make([]int32, n)
 	core := make([]bool, n)
@@ -87,15 +86,15 @@ func Sequential(pts geom.Points, eps float64, minPts int) *Result {
 // PDSDBSCAN is the parallel disjoint-set DBSCAN baseline: parallel pointwise
 // eps-queries on a k-d tree, a union-find over points (ours is lock-free
 // where the original is lock-based), and a border pass.
-func PDSDBSCAN(pts geom.Points, eps float64, minPts int) *Result {
-	tree := kdtree.Build(pts)
+func PDSDBSCAN(ex *parallel.Pool, pts geom.Points, eps float64, minPts int) *Result {
+	tree := kdtree.Build(ex, pts)
 	n := pts.N
 	core := make([]bool, n)
-	parallel.For(n, func(i int) {
+	ex.For(n, func(i int) {
 		core[i] = tree.CountAtLeast(pts.At(i), eps, minPts)
 	})
 	uf := unionfind.New(n)
-	parallel.ForGrain(n, 16, func(i int) {
+	ex.ForGrain(n, 16, func(i int) {
 		if !core[i] {
 			return
 		}
@@ -106,7 +105,7 @@ func PDSDBSCAN(pts geom.Points, eps float64, minPts int) *Result {
 			}
 		}
 	})
-	return finishPointUF(pts, eps, core, uf, func(i int) []int32 {
+	return finishPointUF(ex, pts, eps, core, uf, func(i int) []int32 {
 		return tree.RangeQuery(pts.At(i), eps, nil)
 	})
 }
@@ -115,18 +114,18 @@ func PDSDBSCAN(pts geom.Points, eps float64, minPts int) *Result {
 // PDSDBSCAN but with pointwise queries answered by scanning the grid
 // neighbor cells (the local clustering + merge of the original collapses to
 // a shared union-find in shared memory).
-func HPDBSCAN(pts geom.Points, eps float64, minPts int) *Result {
-	cells := grid.BuildGrid(pts, eps)
+func HPDBSCAN(ex *parallel.Pool, pts geom.Points, eps float64, minPts int) *Result {
+	cells := grid.BuildGrid(ex, pts, eps)
 	if pts.D <= 3 {
-		cells.ComputeNeighborsEnum()
+		cells.ComputeNeighborsEnum(ex)
 	} else {
-		cells.ComputeNeighborsKD()
+		cells.ComputeNeighborsKD(ex)
 	}
 	n := pts.N
 	eps2 := eps * eps
 	core := make([]bool, n)
 	// Pointwise core test by scanning own + neighbor cells.
-	parallel.ForGrain(n, 16, func(i int) {
+	ex.ForGrain(n, 16, func(i int) {
 		q := pts.At(i)
 		g := cells.CellOf[i]
 		count := 0
@@ -153,7 +152,7 @@ func HPDBSCAN(pts geom.Points, eps float64, minPts int) *Result {
 		}
 	})
 	uf := unionfind.New(n)
-	parallel.ForGrain(n, 16, func(i int) {
+	ex.ForGrain(n, 16, func(i int) {
 		if !core[i] {
 			return
 		}
@@ -188,24 +187,16 @@ func HPDBSCAN(pts geom.Points, eps float64, minPts int) *Result {
 		}
 		return out
 	}
-	return finishPointUF(pts, eps, core, uf, query)
+	return finishPointUF(ex, pts, eps, core, uf, query)
 }
 
 // finishPointUF densifies point-level union-find components into cluster
 // labels and attaches border points to the cluster of one core neighbor.
-func finishPointUF(pts geom.Points, eps float64, core []bool, uf *unionfind.UF, query func(i int) []int32) *Result {
+func finishPointUF(ex *parallel.Pool, pts geom.Points, eps float64, core []bool, uf *unionfind.UF, query func(i int) []int32) *Result {
 	n := pts.N
-	isRoot := make([]bool, n)
-	parallel.For(n, func(i int) {
-		if core[i] {
-			isRoot[uf.Find(int32(i))] = true
-		}
-	})
-	roots := prim.FilterIndex(n, func(i int) bool { return isRoot[i] })
-	dense := make([]int32, n)
-	parallel.For(len(roots), func(i int) { dense[roots[i]] = int32(i) })
+	roots, dense := unionfind.DenseRoots(ex, uf, func(i int32) bool { return core[i] })
 	labels := make([]int32, n)
-	parallel.ForGrain(n, 16, func(i int) {
+	ex.ForGrain(n, 16, func(i int) {
 		if core[i] {
 			labels[i] = dense[uf.Find(int32(i))]
 			return

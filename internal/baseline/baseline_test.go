@@ -99,7 +99,7 @@ func TestSequentialMatchesOracle(t *testing.T) {
 		for _, d := range []int{2, 3, 5} {
 			pts := clusteredPoints(350, d, 80, seed*7+int64(d))
 			eps, minPts := 7.0, 6
-			res := Sequential(pts, eps, minPts)
+			res := Sequential(nil, pts, eps, minPts)
 			checkAgainstOracle(t, pts, eps, minPts, res, fmt.Sprintf("seq-d%d-s%d", d, seed))
 		}
 	}
@@ -110,7 +110,7 @@ func TestPDSDBSCANMatchesOracle(t *testing.T) {
 		for _, d := range []int{2, 3, 5} {
 			pts := clusteredPoints(350, d, 80, seed*11+int64(d))
 			eps, minPts := 7.0, 6
-			res := PDSDBSCAN(pts, eps, minPts)
+			res := PDSDBSCAN(nil, pts, eps, minPts)
 			checkAgainstOracle(t, pts, eps, minPts, res, fmt.Sprintf("pds-d%d-s%d", d, seed))
 		}
 	}
@@ -121,7 +121,7 @@ func TestHPDBSCANMatchesOracle(t *testing.T) {
 		for _, d := range []int{2, 3, 5} {
 			pts := clusteredPoints(350, d, 80, seed*13+int64(d))
 			eps, minPts := 7.0, 6
-			res := HPDBSCAN(pts, eps, minPts)
+			res := HPDBSCAN(nil, pts, eps, minPts)
 			checkAgainstOracle(t, pts, eps, minPts, res, fmt.Sprintf("hp-d%d-s%d", d, seed))
 		}
 	}
@@ -132,7 +132,7 @@ func TestRPDBSCANSimMatchesOracle(t *testing.T) {
 		for seed := int64(1); seed <= 2; seed++ {
 			pts := clusteredPoints(350, 3, 80, seed*17)
 			eps, minPts := 7.0, 6
-			res := RPDBSCANSim(pts, eps, minPts, parts)
+			res := RPDBSCANSim(nil, pts, eps, minPts, parts)
 			checkAgainstOracle(t, pts, eps, minPts, res, fmt.Sprintf("rp-p%d-s%d", parts, seed))
 		}
 	}
@@ -141,10 +141,10 @@ func TestRPDBSCANSimMatchesOracle(t *testing.T) {
 func TestBaselinesAgreeWithEachOther(t *testing.T) {
 	pts := clusteredPoints(800, 3, 100, 23)
 	eps, minPts := 8.0, 10
-	seq := Sequential(pts, eps, minPts)
-	pds := PDSDBSCAN(pts, eps, minPts)
-	hp := HPDBSCAN(pts, eps, minPts)
-	rp := RPDBSCANSim(pts, eps, minPts, 8)
+	seq := Sequential(nil, pts, eps, minPts)
+	pds := PDSDBSCAN(nil, pts, eps, minPts)
+	hp := HPDBSCAN(nil, pts, eps, minPts)
+	rp := RPDBSCANSim(nil, pts, eps, minPts, 8)
 	if seq.NumClusters != pds.NumClusters || seq.NumClusters != hp.NumClusters ||
 		seq.NumClusters != rp.NumClusters {
 		t.Fatalf("cluster counts differ: seq=%d pds=%d hp=%d rp=%d",
@@ -172,11 +172,11 @@ func TestBaselinesAgreeWithEachOther(t *testing.T) {
 
 func TestSequentialEdgeCases(t *testing.T) {
 	one, _ := geom.FromRows([][]float64{{0, 0}})
-	res := Sequential(one, 1, 2)
+	res := Sequential(nil, one, 1, 2)
 	if res.NumClusters != 0 || res.Labels[0] != -1 {
 		t.Fatal("single point should be noise")
 	}
-	res = Sequential(one, 1, 1)
+	res = Sequential(nil, one, 1, 1)
 	if res.NumClusters != 1 || res.Labels[0] != 0 {
 		t.Fatal("single point should cluster with minPts=1")
 	}

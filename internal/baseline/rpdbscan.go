@@ -26,22 +26,22 @@ import (
 // Unlike the real RP-DBSCAN, the result is exact (the connectivity tests are
 // exact BCPs); the simulation reproduces the partition/duplicate/merge work
 // shape rather than the approximation.
-func RPDBSCANSim(pts geom.Points, eps float64, minPts int, parts int) *Result {
+func RPDBSCANSim(ex *parallel.Pool, pts geom.Points, eps float64, minPts int, parts int) *Result {
 	if parts < 1 {
 		parts = 1
 	}
-	cells := grid.BuildGrid(pts, eps)
+	cells := grid.BuildGrid(ex, pts, eps)
 	if pts.D <= 3 {
-		cells.ComputeNeighborsEnum()
+		cells.ComputeNeighborsEnum(ex)
 	} else {
-		cells.ComputeNeighborsKD()
+		cells.ComputeNeighborsKD(ex)
 	}
 	numCells := cells.NumCells()
 	eps2 := eps * eps
 
 	// (1) Random cell -> partition assignment.
 	partOf := make([]int32, numCells)
-	parallel.For(numCells, func(g int) {
+	ex.For(numCells, func(g int) {
 		partOf[g] = int32(prim.Mix64(uint64(g)^0xdb5c4a) % uint64(parts))
 	})
 
@@ -134,7 +134,7 @@ func RPDBSCANSim(pts geom.Points, eps float64, minPts int, parts int) *Result {
 	wg.Wait()
 
 	// (3) Merge phase: cross-partition pairs.
-	parallel.ForGrain(len(crossPairs), 4, func(i int) {
+	ex.ForGrain(len(crossPairs), 4, func(i int) {
 		g, h := crossPairs[i][0], crossPairs[i][1]
 		if uf.SameSet(g, h) {
 			return
@@ -145,24 +145,18 @@ func RPDBSCANSim(pts geom.Points, eps float64, minPts int, parts int) *Result {
 	})
 
 	// Labels: densify over core cells, then a border pass.
-	isRoot := make([]bool, numCells)
 	coreCellFlag := make([]bool, numCells)
-	parallel.For(numCells, func(g int) {
+	ex.For(numCells, func(g int) {
 		for _, p := range cells.PointsOf(g) {
 			if core[p] {
 				coreCellFlag[g] = true
 				break
 			}
 		}
-		if coreCellFlag[g] {
-			isRoot[uf.Find(int32(g))] = true
-		}
 	})
-	roots := prim.FilterIndex(numCells, func(g int) bool { return isRoot[g] })
-	dense := make([]int32, numCells)
-	parallel.For(len(roots), func(i int) { dense[roots[i]] = int32(i) })
+	roots, dense := unionfind.DenseRoots(ex, uf, func(g int32) bool { return coreCellFlag[g] })
 	labels := make([]int32, pts.N)
-	parallel.ForGrain(pts.N, 16, func(i int) {
+	ex.ForGrain(pts.N, 16, func(i int) {
 		if core[i] {
 			labels[i] = dense[uf.Find(cells.CellOf[i])]
 			return

@@ -15,26 +15,27 @@ type Edge struct {
 	U, V int32
 }
 
-// Components unions every edge in parallel and returns, for each of the n
-// vertices, the (root-canonical) component ID, plus the number of components.
-func Components(n int, edges []Edge) (labels []int32, count int) {
+// Components unions every edge in parallel on the given executor (nil =
+// default pool) and returns, for each of the n vertices, the (root-canonical)
+// component ID, plus the number of components.
+func Components(ex *parallel.Pool, n int, edges []Edge) (labels []int32, count int) {
 	uf := unionfind.New(n)
-	parallel.For(len(edges), func(i int) {
+	ex.For(len(edges), func(i int) {
 		uf.Union(edges[i].U, edges[i].V)
 	})
-	return Labels(uf)
+	return Labels(ex, uf)
 }
 
 // Labels extracts dense component labels [0, count) from a union-find.
-func Labels(uf *unionfind.UF) (labels []int32, count int) {
+func Labels(ex *parallel.Pool, uf *unionfind.UF) (labels []int32, count int) {
 	n := uf.Len()
 	labels = make([]int32, n)
-	parallel.For(n, func(i int) {
+	ex.For(n, func(i int) {
 		labels[i] = uf.Find(int32(i))
 	})
 	// Densify: roots get labels 0..count-1 in root-index order.
 	dense := make([]int32, n)
-	parallel.For(n, func(i int) {
+	ex.For(n, func(i int) {
 		if labels[i] == int32(i) {
 			dense[i] = 1
 		}
@@ -45,7 +46,7 @@ func Labels(uf *unionfind.UF) (labels []int32, count int) {
 		dense[i] = run
 		run += v
 	}
-	parallel.For(n, func(i int) {
+	ex.For(n, func(i int) {
 		labels[i] = dense[labels[i]]
 	})
 	return labels, int(run)

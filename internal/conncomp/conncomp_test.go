@@ -72,7 +72,7 @@ func TestComponentsMatchBFS(t *testing.T) {
 		for i := range edges {
 			edges[i] = Edge{int32(rng.Intn(n)), int32(rng.Intn(n))}
 		}
-		got, gotCount := Components(n, edges)
+		got, gotCount := Components(nil, n, edges)
 		want, wantCount := bfsComponents(n, edges)
 		if gotCount != wantCount {
 			t.Fatalf("trial %d: count %d want %d", trial, gotCount, wantCount)
@@ -82,7 +82,7 @@ func TestComponentsMatchBFS(t *testing.T) {
 }
 
 func TestNoEdges(t *testing.T) {
-	labels, count := Components(5, nil)
+	labels, count := Components(nil, 5, nil)
 	if count != 5 {
 		t.Fatalf("count = %d, want 5", count)
 	}
@@ -101,14 +101,14 @@ func TestSingleComponentLarge(t *testing.T) {
 	for i := range edges {
 		edges[i] = Edge{int32(i), int32(i + 1)}
 	}
-	_, count := Components(n, edges)
+	_, count := Components(nil, n, edges)
 	if count != 1 {
 		t.Fatalf("count = %d, want 1", count)
 	}
 }
 
 func TestLabelsDense(t *testing.T) {
-	labels, count := Components(6, []Edge{{0, 1}, {2, 3}, {4, 5}})
+	labels, count := Components(nil, 6, []Edge{{0, 1}, {2, 3}, {4, 5}})
 	if count != 3 {
 		t.Fatalf("count = %d, want 3", count)
 	}

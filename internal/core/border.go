@@ -2,7 +2,6 @@ package core
 
 import (
 	"pdbscan/internal/geom"
-	"pdbscan/internal/parallel"
 )
 
 // clusterBorder implements Algorithm 4: every non-core point checks the core
@@ -20,7 +19,7 @@ func (st *pipeline) clusterBorder(labels []int32, numClusters int) map[int32][]i
 
 	// memberships[p] is non-nil only for border points in 2+ clusters.
 	memberships := make([][]int32, c.Pts.N)
-	parallel.ForGrain(numCells, 1, func(g int) {
+	st.ex.ForGrain(numCells, 1, func(g int) {
 		if c.CellSize(g) >= st.p.MinPts {
 			return // all points are core
 		}

@@ -3,7 +3,6 @@ package core
 import (
 	"pdbscan/internal/delaunay"
 	"pdbscan/internal/geom"
-	"pdbscan/internal/parallel"
 	"pdbscan/internal/prim"
 	"pdbscan/internal/unionfind"
 )
@@ -41,7 +40,7 @@ func (st *pipeline) clusterCore() {
 	// large cells connect their surroundings early and prune later queries.
 	order := make([]int32, len(st.coreCells))
 	copy(order, st.coreCells)
-	prim.Sort(order, func(a, b int32) bool {
+	prim.Sort(st.ex, order, func(a, b int32) bool {
 		ca, cb := len(st.corePts[a]), len(st.corePts[b])
 		if ca != cb {
 			return ca > cb
@@ -92,10 +91,10 @@ func (st *pipeline) clusterCore() {
 				hi = len(order)
 			}
 			batch := order[lo:hi]
-			parallel.ForGrain(len(batch), 1, func(i int) { process(batch[i]) })
+			st.ex.ForGrain(len(batch), 1, func(i int) { process(batch[i]) })
 		}
 	} else {
-		parallel.ForGrain(len(order), 1, func(i int) { process(order[i]) })
+		st.ex.ForGrain(len(order), 1, func(i int) { process(order[i]) })
 	}
 }
 
@@ -199,9 +198,9 @@ func (st *pipeline) clusterCoreDelaunay() {
 	for _, g := range st.coreCells {
 		all = append(all, st.corePts[g]...)
 	}
-	edges := delaunay.Triangulate(st.cells.Pts, all)
-	cellEdges := delaunay.FilterCellEdges(edges, st.cells.Pts, st.cells.CellOf, st.eps)
-	parallel.For(len(cellEdges), func(i int) {
+	edges := delaunay.Triangulate(st.ex, st.cells.Pts, all)
+	cellEdges := delaunay.FilterCellEdges(st.ex, edges, st.cells.Pts, st.cells.CellOf, st.eps)
+	st.ex.For(len(cellEdges), func(i int) {
 		st.uf.Union(cellEdges[i].U, cellEdges[i].V)
 	})
 }

@@ -41,11 +41,11 @@ func clusteredPoints(n, d int, scale float64, seed int64) geom.Points {
 
 // buildGridCells builds grid cells with the right neighbor method for d.
 func buildGridCells(pts geom.Points, eps float64) *grid.Cells {
-	c := grid.BuildGrid(pts, eps)
+	c := grid.BuildGrid(nil, pts, eps)
 	if pts.D <= 3 {
-		c.ComputeNeighborsEnum()
+		c.ComputeNeighborsEnum(nil)
 	} else {
-		c.ComputeNeighborsKD()
+		c.ComputeNeighborsKD(nil)
 	}
 	return c
 }
@@ -84,8 +84,8 @@ func TestExactVariants2DMatchBruteForce(t *testing.T) {
 		eps := 3.0
 		minPts := 5
 		gridCells := buildGridCells(pts, eps)
-		boxCells := grid.BuildBox2D(pts, eps)
-		boxCells.ComputeNeighborsBox2D()
+		boxCells := grid.BuildBox2D(nil, pts, eps)
+		boxCells.ComputeNeighborsBox2D(nil)
 		for _, gs := range graphs {
 			for _, ms := range marks {
 				p := Params{MinPts: minPts, Mark: ms.m, Graph: gs.g}
@@ -267,7 +267,7 @@ func TestInvalidParams(t *testing.T) {
 	if _, err := Run(cells, Params{MinPts: 5, Graph: GraphApprox}); err == nil {
 		t.Fatal("expected error for GraphApprox without Rho")
 	}
-	noNbrs := grid.BuildGrid(pts, 1.0)
+	noNbrs := grid.BuildGrid(nil, pts, 1.0)
 	if _, err := Run(noNbrs, Params{MinPts: 5, Graph: GraphBCP}); err == nil {
 		t.Fatal("expected error for missing neighbors")
 	}

@@ -39,8 +39,8 @@ func TestBucketingAcrossStrategies(t *testing.T) {
 func TestApproxOnBoxCells(t *testing.T) {
 	pts := clusteredPoints(400, 2, 80, 41)
 	eps := 4.0
-	cells := grid.BuildBox2D(pts, eps)
-	cells.ComputeNeighborsBox2D()
+	cells := grid.BuildBox2D(nil, pts, eps)
+	cells.ComputeNeighborsBox2D(nil)
 	for _, rho := range []float64{0.01, 0.3} {
 		res, err := Run(cells, Params{MinPts: 6, Graph: GraphApprox, Rho: rho})
 		if err != nil {
@@ -196,8 +196,8 @@ func TestCollinearPointsGridAndUSEC(t *testing.T) {
 func ExampleRun() {
 	rows := [][]float64{{0, 0}, {0.5, 0}, {1, 0}, {10, 10}}
 	pts, _ := geom.FromRows(rows)
-	cells := grid.BuildGrid(pts, 1.0)
-	cells.ComputeNeighborsEnum()
+	cells := grid.BuildGrid(nil, pts, 1.0)
+	cells.ComputeNeighborsEnum(nil)
 	res, _ := Run(cells, Params{MinPts: 2, Graph: GraphBCP})
 	fmt.Println(res.NumClusters)
 	// Output: 1

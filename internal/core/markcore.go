@@ -2,7 +2,6 @@ package core
 
 import (
 	"pdbscan/internal/geom"
-	"pdbscan/internal/parallel"
 )
 
 // markCore implements Algorithm 2: cells with at least minPts points are
@@ -20,7 +19,7 @@ func (st *pipeline) markCore() {
 	eps := st.eps
 	eps2 := eps * eps
 
-	parallel.ForGrain(numCells, 1, func(g int) {
+	st.ex.ForGrain(numCells, 1, func(g int) {
 		size := c.CellSize(g)
 		pts := c.PointsOf(g)
 		if size >= minPts {

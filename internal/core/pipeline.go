@@ -61,6 +61,12 @@ type Params struct {
 	Graph     GraphStrategy
 	Bucketing bool // process core cells in size-sorted batches (Section 4.4)
 	Buckets   int  // number of batches when Bucketing (default 32)
+
+	// Exec is the executor every parallel phase runs on. A nil Exec is the
+	// default (GOMAXPROCS) pool. Threading the executor through Params — as
+	// opposed to a process-wide worker count — is what makes concurrent Run
+	// calls with different budgets safe.
+	Exec *parallel.Pool
 }
 
 // Result is the clustering output.
@@ -83,6 +89,7 @@ type pipeline struct {
 	cells *grid.Cells
 	p     Params
 	eps   float64
+	ex    *parallel.Pool // == p.Exec; the executor for every parallel phase
 
 	coreFlags []bool
 	corePts   [][]int32 // per cell: indices of its core points
@@ -125,7 +132,7 @@ func Run(cells *grid.Cells, p Params) (*Result, error) {
 	if p.Buckets <= 0 {
 		p.Buckets = 32
 	}
-	st := &pipeline{cells: cells, p: p, eps: cells.Eps}
+	st := &pipeline{cells: cells, p: p, eps: cells.Eps, ex: p.Exec}
 	st.markCore()
 	st.collectCore()
 	st.clusterCore()
@@ -148,7 +155,7 @@ func (st *pipeline) collectCore() {
 	st.corePts = make([][]int32, numCells)
 	st.coreBBLo = make([]float64, numCells*d)
 	st.coreBBHi = make([]float64, numCells*d)
-	parallel.ForGrain(numCells, 1, func(g int) {
+	st.ex.ForGrain(numCells, 1, func(g int) {
 		pts := c.PointsOf(g)
 		var core []int32
 		if c.CellSize(g) >= st.p.MinPts {
@@ -179,7 +186,7 @@ func (st *pipeline) collectCore() {
 			}
 		}
 	})
-	st.coreCells = prim.FilterIndex(numCells, func(g int) bool {
+	st.coreCells = prim.FilterIndex(st.ex, numCells, func(g int) bool {
 		return len(st.corePts[g]) > 0
 	})
 }
@@ -188,19 +195,13 @@ func (st *pipeline) collectCore() {
 // state over cells and returns (labels, numClusters); non-core points get -1.
 func (st *pipeline) coreLabels() ([]int32, int) {
 	c := st.cells
-	numCells := c.NumCells()
-	// Mark the union-find roots of core cells.
-	isRoot := make([]bool, numCells)
-	parallel.For(len(st.coreCells), func(i int) {
-		isRoot[st.uf.Find(st.coreCells[i])] = true
-	})
-	roots := prim.FilterIndex(numCells, func(g int) bool { return isRoot[g] })
-	dense := make([]int32, numCells)
-	parallel.For(len(roots), func(i int) {
-		dense[roots[i]] = int32(i)
+	// Mark and densify the union-find roots of the core cells (a cell is
+	// core iff it kept at least one core point).
+	roots, dense := unionfind.DenseRoots(st.ex, st.uf, func(g int32) bool {
+		return len(st.corePts[g]) > 0
 	})
 	labels := make([]int32, c.Pts.N)
-	parallel.For(c.Pts.N, func(i int) {
+	st.ex.For(c.Pts.N, func(i int) {
 		if st.coreFlags[i] {
 			labels[i] = dense[st.uf.Find(c.CellOf[i])]
 		} else {
@@ -246,7 +247,7 @@ func (st *pipeline) allTree(g int32) *quadtree.Tree {
 		idx := make([]int32, len(pts))
 		copy(idx, pts)
 		lo, side := st.quadtreeRoot(int(g))
-		lt.tree = quadtree.Build(st.cells.Pts, idx, lo, side, -1)
+		lt.tree = quadtree.Build(st.ex, st.cells.Pts, idx, lo, side, -1)
 	})
 	return lt.tree
 }
@@ -265,7 +266,7 @@ func (st *pipeline) coreTree(g int32) *quadtree.Tree {
 		if st.p.Graph == GraphApprox {
 			maxDepth = quadtree.ApproxDepth(st.p.Rho)
 		}
-		lt.tree = quadtree.Build(st.cells.Pts, idx, lo, side, maxDepth)
+		lt.tree = quadtree.Build(st.ex, st.cells.Pts, idx, lo, side, maxDepth)
 	})
 	return lt.tree
 }

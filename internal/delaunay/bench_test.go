@@ -11,7 +11,7 @@ func BenchmarkTriangulate(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				work := make([]int32, len(idx))
 				copy(work, idx)
-				Triangulate(pts, work)
+				Triangulate(nil, pts, work)
 			}
 		})
 	}

@@ -40,8 +40,10 @@ type mesh struct {
 
 // Triangulate computes the Delaunay triangulation of the points selected by
 // idx (2D). Exact coordinate duplicates are collapsed to one representative;
-// returned edges reference original point indices with U < V.
-func Triangulate(pts geom.Points, idx []int32) []Edge {
+// returned edges reference original point indices with U < V. The executor ex
+// sizes the parallel pre/post passes (nil = default pool); insertion itself
+// is serial.
+func Triangulate(ex *parallel.Pool, pts geom.Points, idx []int32) []Edge {
 	if pts.D != 2 {
 		panic("delaunay: requires 2-dimensional points")
 	}
@@ -50,7 +52,7 @@ func Triangulate(pts geom.Points, idx []int32) []Edge {
 	// dropping them never loses cell-graph connectivity.
 	uniq := make([]int32, len(idx))
 	copy(uniq, idx)
-	prim.Sort(uniq, func(a, b int32) bool {
+	prim.Sort(ex, uniq, func(a, b int32) bool {
 		ax, ay := pts.Data[2*a], pts.Data[2*a+1]
 		bx, by := pts.Data[2*b], pts.Data[2*b+1]
 		if ax != bx {
@@ -303,9 +305,9 @@ func (m *mesh) insert(p int32) {
 // FilterCellEdges keeps the triangulation edges that cross between two
 // different cells and have length at most eps — the parallel filter that
 // turns the DT into cell-graph edges (Section 4.4).
-func FilterCellEdges(edges []Edge, pts geom.Points, cellOf []int32, eps float64) []Edge {
+func FilterCellEdges(ex *parallel.Pool, edges []Edge, pts geom.Points, cellOf []int32, eps float64) []Edge {
 	eps2 := eps * eps
-	kept := prim.Filter(edges, func(e Edge) bool {
+	kept := prim.Filter(ex, edges, func(e Edge) bool {
 		if cellOf[e.U] == cellOf[e.V] {
 			return false
 		}
@@ -313,7 +315,7 @@ func FilterCellEdges(edges []Edge, pts geom.Points, cellOf []int32, eps float64)
 	})
 	// Map to cell ids in parallel.
 	out := make([]Edge, len(kept))
-	parallel.For(len(kept), func(i int) {
+	ex.For(len(kept), func(i int) {
 		out[i] = Edge{U: cellOf[kept[i].U], V: cellOf[kept[i].V]}
 	})
 	return out

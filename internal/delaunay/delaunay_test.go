@@ -84,7 +84,7 @@ func isDelaunayEdge(pts geom.Points, u, v int) bool {
 func TestTriangulationMatchesBruteForce(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		pts := randomPoints2D(40, 100, seed)
-		edges := Triangulate(pts, allIdx(pts.N))
+		edges := Triangulate(nil, pts, allIdx(pts.N))
 		got := map[[2]int32]bool{}
 		for _, e := range edges {
 			got[[2]int32{e.U, e.V}] = true
@@ -150,7 +150,7 @@ func TestEdgeCountFormula(t *testing.T) {
 	// E = 3n - 3 - h.
 	for _, n := range []int{10, 50, 200} {
 		pts := randomPoints2D(n, 1000, int64(n))
-		edges := Triangulate(pts, allIdx(n))
+		edges := Triangulate(nil, pts, allIdx(n))
 		h := convexHullSize(pts)
 		want := 3*n - 3 - h
 		if len(edges) != want {
@@ -162,7 +162,7 @@ func TestEdgeCountFormula(t *testing.T) {
 func TestNearestNeighborEdgesPresent(t *testing.T) {
 	// The nearest-neighbor graph is a subgraph of the DT.
 	pts := randomPoints2D(300, 100, 77)
-	edges := Triangulate(pts, allIdx(pts.N))
+	edges := Triangulate(nil, pts, allIdx(pts.N))
 	have := map[[2]int32]bool{}
 	for _, e := range edges {
 		have[[2]int32{e.U, e.V}] = true
@@ -188,16 +188,16 @@ func TestNearestNeighborEdgesPresent(t *testing.T) {
 }
 
 func TestSmallInputs(t *testing.T) {
-	if edges := Triangulate(geom.Points{N: 1, D: 2, Data: []float64{0, 0}}, []int32{0}); edges != nil {
+	if edges := Triangulate(nil, geom.Points{N: 1, D: 2, Data: []float64{0, 0}}, []int32{0}); edges != nil {
 		t.Fatalf("1 point: edges = %v", edges)
 	}
 	two, _ := geom.FromRows([][]float64{{0, 0}, {1, 1}})
-	edges := Triangulate(two, allIdx(2))
+	edges := Triangulate(nil, two, allIdx(2))
 	if len(edges) != 1 || edges[0] != (Edge{0, 1}) {
 		t.Fatalf("2 points: edges = %v", edges)
 	}
 	three, _ := geom.FromRows([][]float64{{0, 0}, {1, 0}, {0, 1}})
-	edges = Triangulate(three, allIdx(3))
+	edges = Triangulate(nil, three, allIdx(3))
 	if len(edges) != 3 {
 		t.Fatalf("3 points: %d edges, want 3", len(edges))
 	}
@@ -206,7 +206,7 @@ func TestSmallInputs(t *testing.T) {
 func TestDuplicateCoordinatesCollapsed(t *testing.T) {
 	rows := [][]float64{{0, 0}, {1, 0}, {0, 1}, {0, 0}, {1, 0}}
 	pts, _ := geom.FromRows(rows)
-	edges := Triangulate(pts, allIdx(5))
+	edges := Triangulate(nil, pts, allIdx(5))
 	if len(edges) != 3 {
 		t.Fatalf("duplicates: %d edges, want 3", len(edges))
 	}
@@ -223,7 +223,7 @@ func TestSubsetTriangulation(t *testing.T) {
 	for i := 0; i < 100; i += 3 {
 		idx = append(idx, int32(i))
 	}
-	edges := Triangulate(pts, idx)
+	edges := Triangulate(nil, pts, idx)
 	sel := map[int32]bool{}
 	for _, i := range idx {
 		sel[i] = true
@@ -239,7 +239,7 @@ func TestFilterCellEdges(t *testing.T) {
 	pts, _ := geom.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}, {0.5, 0.5}})
 	cellOf := []int32{0, 1, 2, 0}
 	edges := []Edge{{0, 1}, {1, 2}, {0, 3}, {1, 3}}
-	out := FilterCellEdges(edges, pts, cellOf, 2.0)
+	out := FilterCellEdges(nil, edges, pts, cellOf, 2.0)
 	// (0,1): cells 0-1, dist 1 <= 2: kept. (1,2): dist 9 > 2: dropped.
 	// (0,3): same cell: dropped. (1,3): cells 1-0, dist ~0.7: kept.
 	if len(out) != 2 {
@@ -256,7 +256,7 @@ func TestFilterCellEdges(t *testing.T) {
 func TestLargeTriangulationSane(t *testing.T) {
 	n := 5000
 	pts := randomPoints2D(n, 1e4, 99)
-	edges := Triangulate(pts, allIdx(n))
+	edges := Triangulate(nil, pts, allIdx(n))
 	if len(edges) < 2*n || len(edges) > 3*n {
 		t.Fatalf("edge count %d outside sane range for n=%d", len(edges), n)
 	}

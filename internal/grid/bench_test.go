@@ -8,7 +8,7 @@ func BenchmarkBuildGrid2D(b *testing.B) {
 	pts := randomPoints(100000, 2, 1000, 42)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		BuildGrid(pts, 25)
+		BuildGrid(nil, pts, 25)
 	}
 }
 
@@ -16,7 +16,7 @@ func BenchmarkBuildGrid5D(b *testing.B) {
 	pts := randomPoints(100000, 5, 1000, 42)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		BuildGrid(pts, 100)
+		BuildGrid(nil, pts, 100)
 	}
 }
 
@@ -24,26 +24,26 @@ func BenchmarkBuildBox2D(b *testing.B) {
 	pts := randomPoints(100000, 2, 1000, 42)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		BuildBox2D(pts, 25)
+		BuildBox2D(nil, pts, 25)
 	}
 }
 
 func BenchmarkNeighborsEnum2D(b *testing.B) {
 	pts := randomPoints(100000, 2, 1000, 42)
-	c := BuildGrid(pts, 25)
+	c := BuildGrid(nil, pts, 25)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.ComputeNeighborsEnum()
+		c.ComputeNeighborsEnum(nil)
 	}
 }
 
 func BenchmarkNeighborsKD5D(b *testing.B) {
 	pts := randomPoints(100000, 5, 1000, 42)
-	c := BuildGrid(pts, 100)
+	c := BuildGrid(nil, pts, 100)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.ComputeNeighborsKD()
+		c.ComputeNeighborsKD(nil)
 	}
 }

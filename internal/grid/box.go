@@ -14,8 +14,9 @@ import (
 // by x; group them into strips of width at most eps/sqrt(2) using the
 // parent-pointer + pointer-jumping construction of Figure 2; then, within
 // each strip, repeat the procedure on y to obtain the box cells. O(n log n)
-// work, polylogarithmic depth.
-func BuildBox2D(pts geom.Points, eps float64) *Cells {
+// work, polylogarithmic depth. The executor ex sizes every parallel step
+// (nil = default pool).
+func BuildBox2D(ex *parallel.Pool, pts geom.Points, eps float64) *Cells {
 	if pts.D != 2 {
 		panic("grid.BuildBox2D: requires 2-dimensional points")
 	}
@@ -24,10 +25,10 @@ func BuildBox2D(pts geom.Points, eps float64) *Cells {
 
 	// Sort point indices by x (ties by index for determinism).
 	order := make([]int32, n)
-	parallel.For(n, func(i int) { order[i] = int32(i) })
+	ex.For(n, func(i int) { order[i] = int32(i) })
 	xOf := func(i int32) float64 { return pts.Data[2*int(i)] }
 	yOf := func(i int32) float64 { return pts.Data[2*int(i)+1] }
-	prim.Sort(order, func(a, b int32) bool {
+	prim.Sort(ex, order, func(a, b int32) bool {
 		xa, xb := xOf(a), xOf(b)
 		if xa != xb {
 			return xa < xb
@@ -36,12 +37,12 @@ func BuildBox2D(pts geom.Points, eps float64) *Cells {
 	})
 
 	// Strip starts over the x-sorted sequence.
-	stripOfPos := chainMarks(n, func(i int) float64 { return xOf(order[i]) }, w)
+	stripOfPos := chainMarks(ex, n, func(i int) float64 { return xOf(order[i]) }, w)
 	numStrips := int(stripOfPos[n-1]) + 1
 
 	// Strip boundaries in the sorted order (strip ids are non-decreasing).
 	stripStart := make([]int32, numStrips+1)
-	parallel.For(n, func(i int) {
+	ex.For(n, func(i int) {
 		if i == 0 || stripOfPos[i] != stripOfPos[i-1] {
 			stripStart[stripOfPos[i]] = int32(i)
 		}
@@ -53,7 +54,7 @@ func BuildBox2D(pts geom.Points, eps float64) *Cells {
 	// first, then assign global cell ids with a prefix sum.
 	cellsPerStrip := make([]int, numStrips)
 	cellOfPosLocal := make([]int32, n) // cell id local to the strip, per sorted position
-	parallel.ForGrain(numStrips, 1, func(s int) {
+	ex.ForGrain(numStrips, 1, func(s int) {
 		lo, hi := int(stripStart[s]), int(stripStart[s+1])
 		sub := order[lo:hi]
 		sort.Slice(sub, func(a, b int) bool {
@@ -63,11 +64,11 @@ func BuildBox2D(pts geom.Points, eps float64) *Cells {
 			}
 			return sub[a] < sub[b]
 		})
-		local := chainMarks(hi-lo, func(i int) float64 { return yOf(sub[i]) }, w)
+		local := chainMarks(ex, hi-lo, func(i int) float64 { return yOf(sub[i]) }, w)
 		copy(cellOfPosLocal[lo:hi], local)
 		cellsPerStrip[s] = int(local[hi-lo-1]) + 1
 	})
-	totalCells := prim.PrefixSumInPlace(cellsPerStrip)
+	totalCells := prim.PrefixSumInPlace(ex, cellsPerStrip)
 
 	c := &Cells{
 		Pts:            pts,
@@ -85,7 +86,7 @@ func BuildBox2D(pts geom.Points, eps float64) *Cells {
 	}
 	c.StripCellStart[numStrips] = int32(totalCells)
 
-	parallel.ForGrain(numStrips, 1, func(s int) {
+	ex.ForGrain(numStrips, 1, func(s int) {
 		lo, hi := int(stripStart[s]), int(stripStart[s+1])
 		base := int32(cellsPerStrip[s])
 		for i := lo; i < hi; i++ {
@@ -100,7 +101,7 @@ func BuildBox2D(pts geom.Points, eps float64) *Cells {
 	c.CellStart[totalCells] = int32(n)
 
 	// Per-cell bounding boxes.
-	parallel.ForGrain(totalCells, 1, func(g int) {
+	ex.ForGrain(totalCells, 1, func(g int) {
 		ps := c.PointsOf(g)
 		bbLo := c.BBLo[g*2 : g*2+2]
 		bbHi := c.BBHi[g*2 : g*2+2]
@@ -126,12 +127,12 @@ func BuildBox2D(pts geom.Points, eps float64) *Cells {
 // whose coordinate exceeds its own by more than w; position 0 is marked; the
 // marks are propagated along the parent chain by pointer jumping; the result
 // maps each position to its strip index (marks prefix-summed minus one).
-func chainMarks(n int, coord func(int) float64, w float64) []int32 {
+func chainMarks(ex *parallel.Pool, n int, coord func(int) float64, w float64) []int32 {
 	if n == 0 {
 		return nil
 	}
 	parent := make([]int32, n)
-	parallel.For(n, func(i int) {
+	ex.For(n, func(i int) {
 		// Binary search the sorted sequence for the first position with
 		// coordinate > coord(i) + w.
 		target := coord(i) + w
@@ -148,7 +149,7 @@ func chainMarks(n int, coord func(int) float64, w float64) []int32 {
 	for span := 1; span < 2*n; span *= 2 {
 		// Mark phase: every marked node marks its current jump target.
 		// Multiple writers may set the same slot; CAS keeps it race-free.
-		parallel.For(n, func(i int) {
+		ex.For(n, func(i int) {
 			if atomic.LoadInt32(&marks[i]) == 1 {
 				if p := int(next[i]); p < n {
 					atomic.CompareAndSwapInt32(&marks[p], 0, 1)
@@ -157,7 +158,7 @@ func chainMarks(n int, coord func(int) float64, w float64) []int32 {
 		})
 		// Jump phase: newNext[i] = next[next[i]], reading only the old
 		// array so the doubling invariant is exact.
-		parallel.For(n, func(i int) {
+		ex.For(n, func(i int) {
 			if p := int(next[i]); p < n {
 				newNext[i] = next[p]
 			} else {
@@ -170,8 +171,8 @@ func chainMarks(n int, coord func(int) float64, w float64) []int32 {
 	// prefix sum gives sum of marks[:i]; adding marks[i] and subtracting one
 	// yields the inclusive value - 1.
 	strip := make([]int32, n)
-	prim.PrefixSum(marks, strip)
-	parallel.For(n, func(i int) {
+	prim.PrefixSum(ex, marks, strip)
+	ex.For(n, func(i int) {
 		strip[i] += marks[i] - 1
 	})
 	return strip
@@ -181,12 +182,12 @@ func chainMarks(n int, coord func(int) float64, w float64) []int32 {
 // strip s is merged with strips s-2 .. s+2 (Section 4.2), walking the cells
 // of both strips in increasing y and linking cells whose point bounding
 // boxes are within eps.
-func (c *Cells) ComputeNeighborsBox2D() {
+func (c *Cells) ComputeNeighborsBox2D(ex *parallel.Pool) {
 	numCells := c.NumCells()
 	numStrips := len(c.StripCellStart) - 1
 	eps2 := c.Eps * c.Eps
 	c.Neighbors = make([][]int32, numCells)
-	parallel.ForGrain(numStrips, 1, func(s int) {
+	ex.ForGrain(numStrips, 1, func(s int) {
 		gLo, gHi := int(c.StripCellStart[s]), int(c.StripCellStart[s+1])
 		// Per-merged-strip advancing window start: cells in every strip are
 		// sorted by y, so as g walks up in y the window only moves forward

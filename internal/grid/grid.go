@@ -115,17 +115,18 @@ func coordsLess(a, b []int32) bool {
 // BuildGrid assigns the points to grid cells of side eps/sqrt(d)
 // (Section 4.1): compute each point's cell coordinates, semisort the points
 // by cell key, and insert the non-empty cells into a concurrent hash table.
-// Expected O(n) work.
-func BuildGrid(pts geom.Points, eps float64) *Cells {
+// Expected O(n) work. The executor ex sizes every parallel step (nil =
+// default pool).
+func BuildGrid(ex *parallel.Pool, pts geom.Points, eps float64) *Cells {
 	n, d := pts.N, pts.D
 	side := eps / math.Sqrt(float64(d))
-	origin := parBoundsLo(pts)
+	origin := parBoundsLo(ex, pts)
 
 	// Integer cell coordinates and their hashes, per point.
 	coords := make([]int32, n*d)
 	hashes := make([]uint64, n)
 	order := make([]int32, n)
-	parallel.For(n, func(i int) {
+	ex.For(n, func(i int) {
 		row := pts.At(i)
 		c := coords[i*d : (i+1)*d]
 		for j, v := range row {
@@ -137,11 +138,11 @@ func BuildGrid(pts geom.Points, eps float64) *Cells {
 
 	// Semisort by cell: radix sort on the 32-bit coordinate hash, then split
 	// equal-hash runs by true coordinates (runs are O(1) expected length).
-	prim.RadixSortPairs(hashes, order, 32)
-	fixCoordRuns(hashes, order, coords, d)
+	prim.RadixSortPairs(ex, hashes, order, 32)
+	fixCoordRuns(ex, hashes, order, coords, d)
 
 	coordsOf := func(i int32) []int32 { return coords[int(i)*d : (int(i)+1)*d] }
-	starts := prim.FilterIndex(n, func(i int) bool {
+	starts := prim.FilterIndex(ex, n, func(i int) bool {
 		if i == 0 {
 			return true
 		}
@@ -166,7 +167,7 @@ func BuildGrid(pts geom.Points, eps float64) *Cells {
 	}
 	c.table = newCellTable(numCells, c)
 
-	parallel.ForGrain(numCells, 1, func(g int) {
+	ex.ForGrain(numCells, 1, func(g int) {
 		lo, hi := int(cellStart[g]), int(cellStart[g+1])
 		rep := coordsOf(order[lo])
 		copy(c.Coords[g*d:(g+1)*d], rep)
@@ -194,14 +195,14 @@ func BuildGrid(pts geom.Points, eps float64) *Cells {
 
 // fixCoordRuns makes equal coordinates contiguous within runs of equal hash
 // (rare 32-bit collisions), by sorting each run lexicographically by coords.
-func fixCoordRuns(hashes []uint64, order []int32, coords []int32, d int) {
+func fixCoordRuns(ex *parallel.Pool, hashes []uint64, order []int32, coords []int32, d int) {
 	n := len(hashes)
-	heads := prim.FilterIndex(n, func(i int) bool {
+	heads := prim.FilterIndex(ex, n, func(i int) bool {
 		return (i == 0 || hashes[i] != hashes[i-1]) &&
 			i+1 < n && hashes[i+1] == hashes[i]
 	})
 	co := func(i int32) []int32 { return coords[int(i)*d : (int(i)+1)*d] }
-	parallel.ForGrain(len(heads), 1, func(h int) {
+	ex.ForGrain(len(heads), 1, func(h int) {
 		lo := int(heads[h])
 		hi := lo + 1
 		for hi < n && hashes[hi] == hashes[lo] {
@@ -219,11 +220,11 @@ func fixCoordRuns(hashes []uint64, order []int32, coords []int32, d int) {
 }
 
 // parBoundsLo computes the coordinate-wise minimum of the points in parallel.
-func parBoundsLo(pts geom.Points) []float64 {
+func parBoundsLo(ex *parallel.Pool, pts geom.Points) []float64 {
 	d := pts.D
-	nb := parallel.NumBlocks(pts.N, 0)
+	nb := ex.NumBlocks(pts.N, 0)
 	partial := make([][]float64, nb)
-	parallel.BlockedForIdx(pts.N, 0, func(b, lo, hi int) {
+	ex.BlockedForIdx(pts.N, 0, func(b, lo, hi int) {
 		m := make([]float64, d)
 		copy(m, pts.At(lo))
 		for i := lo + 1; i < hi; i++ {
@@ -302,7 +303,7 @@ func (t *cellTable) lookup(co []int32) int32 {
 // offsets within ceil(sqrt(d)) per axis and looking each one up in the cell
 // hash table — the constant-work-per-cell method the 2D algorithms use
 // (Section 4.1). Only valid for the grid construction.
-func (c *Cells) ComputeNeighborsEnum() {
+func (c *Cells) ComputeNeighborsEnum(ex *parallel.Pool) {
 	d := c.Pts.D
 	m := int(math.Ceil(math.Sqrt(float64(d))))
 	numCells := c.NumCells()
@@ -312,7 +313,7 @@ func (c *Cells) ComputeNeighborsEnum() {
 	// the exact cube-distance test shared with ComputeNeighborsKD so that
 	// both methods return identical neighbor sets.
 	pruneBound := eps2 * (1 + 1e-9)
-	parallel.ForGrain(numCells, 1, func(g int) {
+	ex.ForGrain(numCells, 1, func(g int) {
 		base := c.Coords[g*d : (g+1)*d]
 		var nbrs []int32
 		off := make([]int32, d)
@@ -372,23 +373,23 @@ func (c *Cells) ComputeNeighborsEnum() {
 // centers (Section 5.1), which avoids enumerating the exponentially many
 // candidate offsets in higher dimensions. Only valid for the grid
 // construction.
-func (c *Cells) ComputeNeighborsKD() {
+func (c *Cells) ComputeNeighborsKD(ex *parallel.Pool) {
 	d := c.Pts.D
 	numCells := c.NumCells()
 	centers := geom.Points{N: numCells, D: d, Data: make([]float64, numCells*d)}
-	parallel.For(numCells, func(g int) {
+	ex.For(numCells, func(g int) {
 		row := centers.Data[g*d : (g+1)*d]
 		for j := 0; j < d; j++ {
 			row[j] = c.Origin[j] + (float64(c.Coords[g*d+j])+0.5)*c.Side
 		}
 	})
-	tree := kdtree.Build(centers)
+	tree := kdtree.Build(ex, centers)
 	// Two cells can contain points within eps iff their cubes are within
 	// eps; center distance is at most cube distance + side*sqrt(d).
 	radius := c.Eps + c.Side*math.Sqrt(float64(d)) + 1e-9
 	eps2 := c.Eps * c.Eps * (1 + 1e-12)
 	c.Neighbors = make([][]int32, numCells)
-	parallel.ForGrain(numCells, 1, func(g int) {
+	ex.ForGrain(numCells, 1, func(g int) {
 		cand := tree.RangeQuery(centers.At(g), radius, nil)
 		gLo := make([]float64, d)
 		gHi := make([]float64, d)

@@ -106,31 +106,31 @@ func checkNeighbors(t *testing.T, c *Cells) {
 
 func TestBuildGrid2D(t *testing.T) {
 	pts := randomPoints(2000, 2, 100, 1)
-	c := BuildGrid(pts, 5.0)
+	c := BuildGrid(nil, pts, 5.0)
 	checkPartition(t, c)
 	if math.Abs(c.Side-5.0/math.Sqrt2) > 1e-12 {
 		t.Fatalf("side = %v", c.Side)
 	}
-	c.ComputeNeighborsEnum()
+	c.ComputeNeighborsEnum(nil)
 	checkNeighbors(t, c)
 }
 
 func TestBuildGridHighDim(t *testing.T) {
 	for _, d := range []int{3, 5, 7} {
 		pts := randomPoints(1000, d, 50, int64(d))
-		c := BuildGrid(pts, 12.0)
+		c := BuildGrid(nil, pts, 12.0)
 		checkPartition(t, c)
-		c.ComputeNeighborsKD()
+		c.ComputeNeighborsKD(nil)
 		checkNeighbors(t, c)
 	}
 }
 
 func TestGridEnumAndKDAgree(t *testing.T) {
 	pts := randomPoints(1500, 3, 60, 7)
-	c1 := BuildGrid(pts, 8.0)
-	c1.ComputeNeighborsEnum()
-	c2 := BuildGrid(pts, 8.0)
-	c2.ComputeNeighborsKD()
+	c1 := BuildGrid(nil, pts, 8.0)
+	c1.ComputeNeighborsEnum(nil)
+	c2 := BuildGrid(nil, pts, 8.0)
+	c2.ComputeNeighborsKD(nil)
 	if c1.NumCells() != c2.NumCells() {
 		t.Fatalf("cell counts differ")
 	}
@@ -150,7 +150,7 @@ func TestGridEnumAndKDAgree(t *testing.T) {
 
 func TestGridCellCoordsConsistent(t *testing.T) {
 	pts := randomPoints(500, 2, 30, 3)
-	c := BuildGrid(pts, 3.0)
+	c := BuildGrid(nil, pts, 3.0)
 	for g := 0; g < c.NumCells(); g++ {
 		lo, hi := c.GridCube(g)
 		for _, p := range c.PointsOf(g) {
@@ -166,11 +166,11 @@ func TestGridCellCoordsConsistent(t *testing.T) {
 
 func TestGridSinglePoint(t *testing.T) {
 	pts, _ := geom.FromRows([][]float64{{1, 1}})
-	c := BuildGrid(pts, 1.0)
+	c := BuildGrid(nil, pts, 1.0)
 	if c.NumCells() != 1 || c.CellSize(0) != 1 {
 		t.Fatalf("cells = %d size0 = %d", c.NumCells(), c.CellSize(0))
 	}
-	c.ComputeNeighborsEnum()
+	c.ComputeNeighborsEnum(nil)
 	if len(c.Neighbors[0]) != 0 {
 		t.Fatal("single cell has neighbors")
 	}
@@ -182,7 +182,7 @@ func TestGridAllSamePoint(t *testing.T) {
 		rows[i] = []float64{5, 5, 5}
 	}
 	pts, _ := geom.FromRows(rows)
-	c := BuildGrid(pts, 2.0)
+	c := BuildGrid(nil, pts, 2.0)
 	if c.NumCells() != 1 {
 		t.Fatalf("cells = %d, want 1", c.NumCells())
 	}
@@ -193,16 +193,16 @@ func TestGridAllSamePoint(t *testing.T) {
 
 func TestBuildBox2D(t *testing.T) {
 	pts := randomPoints(2000, 2, 100, 5)
-	c := BuildBox2D(pts, 5.0)
+	c := BuildBox2D(nil, pts, 5.0)
 	checkPartition(t, c)
-	c.ComputeNeighborsBox2D()
+	c.ComputeNeighborsBox2D(nil)
 	checkNeighbors(t, c)
 }
 
 func TestBox2DStripWidth(t *testing.T) {
 	pts := randomPoints(3000, 2, 200, 9)
 	eps := 7.0
-	c := BuildBox2D(pts, eps)
+	c := BuildBox2D(nil, pts, eps)
 	w := eps / math.Sqrt2
 	// Each cell's bbox extent must be at most the strip width in both axes
 	// (that is what guarantees diameter <= eps).
@@ -220,7 +220,7 @@ func TestBox2DMatchesSequentialStripScan(t *testing.T) {
 	pts := randomPoints(800, 2, 60, 13)
 	eps := 4.0
 	w := eps / math.Sqrt2
-	c := BuildBox2D(pts, eps)
+	c := BuildBox2D(nil, pts, eps)
 
 	// Sequential strips over x.
 	xs := make([]float64, pts.N)
@@ -277,7 +277,7 @@ func TestBox2DRequires2D(t *testing.T) {
 			t.Fatal("expected panic for 3D input")
 		}
 	}()
-	BuildBox2D(randomPoints(10, 3, 1, 1), 1.0)
+	BuildBox2D(nil, randomPoints(10, 3, 1, 1), 1.0)
 }
 
 func TestGridClusteredData(t *testing.T) {
@@ -291,8 +291,8 @@ func TestGridClusteredData(t *testing.T) {
 		rows = append(rows, []float64{1000 + rng.Float64(), 1000 + rng.Float64()})
 	}
 	pts, _ := geom.FromRows(rows)
-	c := BuildGrid(pts, 2.0)
-	c.ComputeNeighborsEnum()
+	c := BuildGrid(nil, pts, 2.0)
+	c.ComputeNeighborsEnum(nil)
 	for g := 0; g < c.NumCells(); g++ {
 		glo, _ := c.CellBox(g)
 		for _, h := range c.Neighbors[g] {

@@ -83,7 +83,7 @@ func (t *U64) Lookup(key uint64) (int32, bool) {
 
 // Len counts the occupied slots (parallel scan).
 func (t *U64) Len() int {
-	return prim.CountIf(len(t.state), func(i int) bool {
+	return prim.CountIf(nil, len(t.state), func(i int) bool {
 		return atomic.LoadUint32(&t.state[i]) == slotFull
 	})
 }

@@ -9,13 +9,13 @@ func BenchmarkBuild3D(b *testing.B) {
 	pts := randomPoints(100000, 3, 1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Build(pts)
+		Build(nil, pts)
 	}
 }
 
 func BenchmarkRangeCount(b *testing.B) {
 	pts := randomPoints(100000, 3, 1)
-	tree := Build(pts)
+	tree := Build(nil, pts)
 	rng := rand.New(rand.NewSource(2))
 	queries := make([][]float64, 256)
 	for i := range queries {
@@ -30,7 +30,7 @@ func BenchmarkRangeCount(b *testing.B) {
 
 func BenchmarkCountAtLeast(b *testing.B) {
 	pts := randomPoints(100000, 3, 1)
-	tree := Build(pts)
+	tree := Build(nil, pts)
 	rng := rand.New(rand.NewSource(3))
 	queries := make([][]float64, 256)
 	for i := range queries {

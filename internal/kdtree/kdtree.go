@@ -31,21 +31,23 @@ type Tree struct {
 	pts  geom.Points
 	idx  []int32 // reordered point indices
 	root *node
+	ex   *parallel.Pool // build-time executor; queries are serial
 }
 
-// Build constructs a k-d tree over all points of pts in parallel.
-func Build(pts geom.Points) *Tree {
+// Build constructs a k-d tree over all points of pts in parallel on the
+// given executor (nil = default pool).
+func Build(ex *parallel.Pool, pts geom.Points) *Tree {
 	idx := make([]int32, pts.N)
-	parallel.For(pts.N, func(i int) { idx[i] = int32(i) })
-	return BuildSubset(pts, idx)
+	ex.For(pts.N, func(i int) { idx[i] = int32(i) })
+	return BuildSubset(ex, pts, idx)
 }
 
 // BuildSubset constructs a k-d tree over the given point indices. The slice
 // is taken over (reordered in place).
-func BuildSubset(pts geom.Points, idx []int32) *Tree {
-	t := &Tree{pts: pts, idx: idx}
+func BuildSubset(ex *parallel.Pool, pts geom.Points, idx []int32) *Tree {
+	t := &Tree{pts: pts, idx: idx, ex: ex}
 	if len(idx) > 0 {
-		t.root = t.build(0, int32(len(idx)), 0, parallel.Workers())
+		t.root = t.build(0, int32(len(idx)), 0, ex.Workers())
 	}
 	return t
 }
@@ -69,7 +71,7 @@ func (t *Tree) build(lo, hi int32, depth, budget int) *node {
 	sub := t.idx[lo:hi]
 	d := t.pts.D
 	data := t.pts.Data
-	prim.Sort(sub, func(a, b int32) bool {
+	prim.Sort(t.ex, sub, func(a, b int32) bool {
 		va, vb := data[int(a)*d+dim], data[int(b)*d+dim]
 		if va != vb {
 			return va < vb

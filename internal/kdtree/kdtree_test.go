@@ -31,7 +31,7 @@ func bruteRange(pts geom.Points, q []float64, r float64) []int32 {
 func TestRangeCountMatchesBrute(t *testing.T) {
 	for _, d := range []int{1, 2, 3, 5, 7} {
 		pts := randomPoints(2000, d, int64(d))
-		tree := Build(pts)
+		tree := Build(nil, pts)
 		rng := rand.New(rand.NewSource(99))
 		for trial := 0; trial < 50; trial++ {
 			q := make([]float64, d)
@@ -49,7 +49,7 @@ func TestRangeCountMatchesBrute(t *testing.T) {
 
 func TestRangeQueryMatchesBrute(t *testing.T) {
 	pts := randomPoints(3000, 3, 11)
-	tree := Build(pts)
+	tree := Build(nil, pts)
 	rng := rand.New(rand.NewSource(12))
 	for trial := 0; trial < 40; trial++ {
 		q := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
@@ -70,7 +70,7 @@ func TestRangeQueryMatchesBrute(t *testing.T) {
 
 func TestRangeQueryAppendsToExisting(t *testing.T) {
 	pts := randomPoints(100, 2, 1)
-	tree := Build(pts)
+	tree := Build(nil, pts)
 	pre := []int32{-7}
 	out := tree.RangeQuery(pts.At(0), 1000, pre)
 	if out[0] != -7 {
@@ -83,7 +83,7 @@ func TestRangeQueryAppendsToExisting(t *testing.T) {
 
 func TestCountAtLeast(t *testing.T) {
 	pts := randomPoints(5000, 3, 21)
-	tree := Build(pts)
+	tree := Build(nil, pts)
 	rng := rand.New(rand.NewSource(22))
 	for trial := 0; trial < 50; trial++ {
 		q := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
@@ -97,7 +97,7 @@ func TestCountAtLeast(t *testing.T) {
 }
 
 func TestEmptyAndTinyTrees(t *testing.T) {
-	empty := BuildSubset(geom.Points{N: 0, D: 2}, nil)
+	empty := BuildSubset(nil, geom.Points{N: 0, D: 2}, nil)
 	if empty.RangeCount([]float64{0, 0}, 10) != 0 {
 		t.Fatal("empty tree counted points")
 	}
@@ -105,7 +105,7 @@ func TestEmptyAndTinyTrees(t *testing.T) {
 		t.Fatal("empty tree has a point")
 	}
 	one, _ := geom.FromRows([][]float64{{3, 4}})
-	tree := Build(one)
+	tree := Build(nil, one)
 	if tree.RangeCount([]float64{0, 0}, 5) != 1 {
 		t.Fatal("single point at distance 5 not counted with r=5")
 	}
@@ -120,7 +120,7 @@ func TestBuildSubset(t *testing.T) {
 	for i := 0; i < 1000; i += 2 {
 		idx = append(idx, int32(i))
 	}
-	tree := BuildSubset(pts, idx)
+	tree := BuildSubset(nil, pts, idx)
 	if tree.Size() != 500 {
 		t.Fatalf("size = %d, want 500", tree.Size())
 	}
@@ -142,7 +142,7 @@ func TestDuplicatePoints(t *testing.T) {
 		rows[i] = []float64{1, 2, 3}
 	}
 	pts, _ := geom.FromRows(rows)
-	tree := Build(pts)
+	tree := Build(nil, pts)
 	if got := tree.RangeCount([]float64{1, 2, 3}, 0); got != 200 {
 		t.Fatalf("duplicates: count = %d, want 200", got)
 	}

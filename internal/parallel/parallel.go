@@ -4,6 +4,13 @@
 // automatic granularity, binary fork-join for divide-and-conquer algorithms,
 // and parallel reductions.
 //
+// Parallelism is budgeted by an explicit executor, Pool. A Pool is an
+// immutable worker-count hint created per clustering run and threaded through
+// every parallel construct, so concurrent runs with different budgets never
+// observe each other's scaling (there is no package-level mutable state). A
+// nil *Pool is valid everywhere and means "use GOMAXPROCS"; the package-level
+// function forms are shorthands for that default pool.
+//
 // The scheduler is deliberately simple: every parallel loop partitions its
 // iteration space into at most Workers() contiguous blocks and runs each block
 // on its own goroutine. Nested parallel calls simply spawn more goroutines;
@@ -16,31 +23,38 @@ package parallel
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
-// maxWorkers, when positive, caps the number of goroutines any single
-// parallel construct spawns. Zero means "use GOMAXPROCS".
-var maxWorkers int64
-
-// SetWorkers caps the parallelism of every construct in this package.
-// p <= 0 resets to the default (GOMAXPROCS at call time). It returns the
-// previous cap (0 if none was set). The benchmark harness uses this together
-// with runtime.GOMAXPROCS to run thread-count sweeps.
-func SetWorkers(p int) int {
-	old := atomic.LoadInt64(&maxWorkers)
-	if p <= 0 {
-		atomic.StoreInt64(&maxWorkers, 0)
-	} else {
-		atomic.StoreInt64(&maxWorkers, int64(p))
-	}
-	return int(old)
+// Pool is an executor: an immutable parallelism budget for one clustering run
+// (or any other unit of work). It carries no goroutines and no mutable state —
+// it is only the worker-count hint every construct sizes its block partition
+// by — so Pools are safe to share, copy, and use from any number of
+// goroutines, and two Pools never interfere with each other.
+//
+// The zero value and the nil pointer both mean "all available CPUs".
+type Pool struct {
+	workers int
 }
 
-// Workers reports the number of goroutines a parallel loop may use.
-func Workers() int {
-	if p := atomic.LoadInt64(&maxWorkers); p > 0 {
-		return int(p)
+// NewPool returns a Pool that caps every construct at p goroutines.
+// p <= 0 yields the default budget (GOMAXPROCS at each call).
+func NewPool(p int) *Pool {
+	if p <= 0 {
+		return nil
+	}
+	return &Pool{workers: p}
+}
+
+// Default returns the default executor: a nil Pool, whose budget tracks
+// runtime.GOMAXPROCS(0). It exists to make call sites that deliberately use
+// the default read better than a bare nil.
+func Default() *Pool { return nil }
+
+// Workers reports the number of goroutines a parallel loop on this pool may
+// use. Nil-safe: a nil (or zero) Pool reports GOMAXPROCS.
+func (ex *Pool) Workers() int {
+	if ex != nil && ex.workers > 0 {
+		return ex.workers
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -51,15 +65,15 @@ const minGrain = 512
 
 // For runs f(i) for every i in [0, n) in parallel. The iteration space is cut
 // into contiguous blocks; f must be safe to call concurrently for distinct i.
-func For(n int, f func(i int)) {
-	ForGrain(n, 0, f)
+func (ex *Pool) For(n int, f func(i int)) {
+	ex.ForGrain(n, 0, f)
 }
 
 // ForGrain is For with an explicit minimum grain (iterations per goroutine).
 // grain <= 0 selects a default that keeps per-goroutine work above minGrain
 // while using all workers on large inputs.
-func ForGrain(n, grain int, f func(i int)) {
-	BlockedFor(n, grain, func(lo, hi int) {
+func (ex *Pool) ForGrain(n, grain int, f func(i int)) {
+	ex.BlockedFor(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			f(i)
 		}
@@ -70,11 +84,11 @@ func ForGrain(n, grain int, f func(i int)) {
 // body(lo, hi) for each block in parallel. This is the workhorse used by the
 // primitives: it exposes the block structure so callers can keep per-block
 // state (histograms, partial sums) without false sharing.
-func BlockedFor(n, grain int, body func(lo, hi int)) {
+func (ex *Pool) BlockedFor(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	p := Workers()
+	p := ex.Workers()
 	if grain <= 0 {
 		grain = minGrain
 	}
@@ -108,11 +122,11 @@ func BlockedFor(n, grain int, body func(lo, hi int)) {
 
 // NumBlocks reports how many blocks BlockedFor would use for n items with the
 // given grain, so callers can pre-size per-block scratch arrays.
-func NumBlocks(n, grain int) int {
+func (ex *Pool) NumBlocks(n, grain int) int {
 	if n <= 0 {
 		return 0
 	}
-	p := Workers()
+	p := ex.Workers()
 	if grain <= 0 {
 		grain = minGrain
 	}
@@ -128,11 +142,11 @@ func NumBlocks(n, grain int) int {
 
 // BlockedForIdx is BlockedFor that also passes the block index, for callers
 // that write into per-block scratch slots.
-func BlockedForIdx(n, grain int, body func(b, lo, hi int)) {
+func (ex *Pool) BlockedForIdx(n, grain int, body func(b, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	nblocks := NumBlocks(n, grain)
+	nblocks := ex.NumBlocks(n, grain)
 	if nblocks == 1 {
 		body(0, 0, n)
 		return
@@ -157,8 +171,58 @@ func BlockedForIdx(n, grain int, body func(b, lo, hi int)) {
 	wg.Wait()
 }
 
+// ReduceInt computes the sum over i in [0, n) of f(i) with a parallel
+// block-level reduction.
+func (ex *Pool) ReduceInt(n int, f func(i int) int) int {
+	nb := ex.NumBlocks(n, 0)
+	if nb == 0 {
+		return 0
+	}
+	partial := make([]int, nb)
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[b] = s
+	})
+	total := 0
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// ReduceFloat64Min computes the minimum over i in [0, n) of f(i).
+// Returns +Inf-like behaviour via the identity argument when n == 0.
+func (ex *Pool) ReduceFloat64Min(n int, identity float64, f func(i int) float64) float64 {
+	nb := ex.NumBlocks(n, 0)
+	if nb == 0 {
+		return identity
+	}
+	partial := make([]float64, nb)
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
+		m := identity
+		for i := lo; i < hi; i++ {
+			if v := f(i); v < m {
+				m = v
+			}
+		}
+		partial[b] = m
+	})
+	m := identity
+	for _, v := range partial {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
 // Do runs the given functions in parallel and waits for all of them. It is
-// the binary (n-ary) fork of fork-join divide-and-conquer algorithms.
+// the binary (n-ary) fork of fork-join divide-and-conquer algorithms. Forks
+// are unconditional (callers bound recursion depth with a worker budget), so
+// Do needs no pool.
 func Do(fs ...func()) {
 	switch len(fs) {
 	case 0:
@@ -190,50 +254,33 @@ func Do(fs ...func()) {
 	wg.Wait()
 }
 
-// ReduceInt computes the sum over i in [0, n) of f(i) with a parallel
-// block-level reduction.
-func ReduceInt(n int, f func(i int) int) int {
-	nb := NumBlocks(n, 0)
-	if nb == 0 {
-		return 0
-	}
-	partial := make([]int, nb)
-	BlockedForIdx(n, 0, func(b, lo, hi int) {
-		s := 0
-		for i := lo; i < hi; i++ {
-			s += f(i)
-		}
-		partial[b] = s
-	})
-	total := 0
-	for _, s := range partial {
-		total += s
-	}
-	return total
+// Package-level shorthands for the default (GOMAXPROCS) pool, for code with
+// no per-call budget to honor: tests, benchmarks, and one-off tools.
+
+// For runs f(i) for every i in [0, n) on the default pool.
+func For(n int, f func(i int)) { Default().For(n, f) }
+
+// ForGrain is For with an explicit minimum grain, on the default pool.
+func ForGrain(n, grain int, f func(i int)) { Default().ForGrain(n, grain, f) }
+
+// BlockedFor runs body over contiguous blocks of [0, n) on the default pool.
+func BlockedFor(n, grain int, body func(lo, hi int)) { Default().BlockedFor(n, grain, body) }
+
+// BlockedForIdx is BlockedFor with the block index, on the default pool.
+func BlockedForIdx(n, grain int, body func(b, lo, hi int)) {
+	Default().BlockedForIdx(n, grain, body)
 }
 
-// ReduceFloat64Min computes the minimum over i in [0, n) of f(i).
-// Returns +Inf-like behaviour via the identity argument when n == 0.
+// NumBlocks reports the default pool's block count for n items.
+func NumBlocks(n, grain int) int { return Default().NumBlocks(n, grain) }
+
+// ReduceInt sums f(i) over [0, n) on the default pool.
+func ReduceInt(n int, f func(i int) int) int { return Default().ReduceInt(n, f) }
+
+// ReduceFloat64Min minimizes f(i) over [0, n) on the default pool.
 func ReduceFloat64Min(n int, identity float64, f func(i int) float64) float64 {
-	nb := NumBlocks(n, 0)
-	if nb == 0 {
-		return identity
-	}
-	partial := make([]float64, nb)
-	BlockedForIdx(n, 0, func(b, lo, hi int) {
-		m := identity
-		for i := lo; i < hi; i++ {
-			if v := f(i); v < m {
-				m = v
-			}
-		}
-		partial[b] = m
-	})
-	m := identity
-	for _, v := range partial {
-		if v < m {
-			m = v
-		}
-	}
-	return m
+	return Default().ReduceFloat64Min(n, identity, f)
 }
+
+// Workers reports the default pool's worker budget (GOMAXPROCS).
+func Workers() int { return Default().Workers() }

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -51,18 +52,59 @@ func TestBlockedForIdxDistinctBlocks(t *testing.T) {
 	}
 }
 
-func TestSetWorkersCapsBlocks(t *testing.T) {
-	old := SetWorkers(2)
-	defer SetWorkers(old)
-	if w := Workers(); w != 2 {
+func TestPoolCapsBlocks(t *testing.T) {
+	ex := NewPool(2)
+	if w := ex.Workers(); w != 2 {
 		t.Fatalf("Workers() = %d, want 2", w)
 	}
-	if nb := NumBlocks(1<<20, 1); nb != 2 {
+	if nb := ex.NumBlocks(1<<20, 1); nb != 2 {
 		t.Fatalf("NumBlocks = %d, want 2", nb)
 	}
-	SetWorkers(0)
-	if w := Workers(); w != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers() = %d, want GOMAXPROCS", w)
+	// Nil pool (and pools from non-positive budgets) track GOMAXPROCS.
+	for _, def := range []*Pool{nil, NewPool(0), NewPool(-3)} {
+		if w := def.Workers(); w != runtime.GOMAXPROCS(0) {
+			t.Fatalf("default pool Workers() = %d, want GOMAXPROCS", w)
+		}
+	}
+}
+
+func TestPoolsAreIndependent(t *testing.T) {
+	// Two pools used concurrently must each honor their own budget — the
+	// property the old SetWorkers global could not provide.
+	var wg sync.WaitGroup
+	for _, w := range []int{1, 2, 3, 5} {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := NewPool(w)
+			for iter := 0; iter < 50; iter++ {
+				if nb := ex.NumBlocks(1<<20, 1); nb != w {
+					t.Errorf("pool(%d): NumBlocks = %d", w, nb)
+					return
+				}
+				var total int64
+				ex.BlockedFor(100000, 0, func(lo, hi int) {
+					atomic.AddInt64(&total, int64(hi-lo))
+				})
+				if total != 100000 {
+					t.Errorf("pool(%d): covered %d iterations", w, total)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPoolForCoversAllIndices(t *testing.T) {
+	ex := NewPool(3)
+	n := 4096
+	seen := make([]int32, n)
+	ex.For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
 	}
 }
 

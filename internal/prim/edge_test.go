@@ -11,7 +11,7 @@ func TestSortAllEqual(t *testing.T) {
 	for i := range a {
 		a[i] = 7
 	}
-	Sort(a, func(x, y int) bool { return x < y })
+	Sort(nil, a, func(x, y int) bool { return x < y })
 	for _, v := range a {
 		if v != 7 {
 			t.Fatal("sort corrupted all-equal input")
@@ -25,7 +25,7 @@ func TestSortReverseSorted(t *testing.T) {
 	for i := range a {
 		a[i] = n - i
 	}
-	Sort(a, func(x, y int) bool { return x < y })
+	Sort(nil, a, func(x, y int) bool { return x < y })
 	for i := range a {
 		if a[i] != i+1 {
 			t.Fatalf("a[%d] = %d", i, a[i])
@@ -46,7 +46,7 @@ func TestMergeHeavyDuplicates(t *testing.T) {
 	sort.Ints(a)
 	sort.Ints(b)
 	out := make([]int, len(a)+len(b))
-	Merge(a, b, out, func(x, y int) bool { return x < y })
+	Merge(nil, a, b, out, func(x, y int) bool { return x < y })
 	for i := 1; i < len(out); i++ {
 		if out[i] < out[i-1] {
 			t.Fatalf("not sorted at %d", i)
@@ -65,7 +65,7 @@ func TestRadixSort64Bits(t *testing.T) {
 	}
 	want := append([]uint64{}, keys...)
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
-	RadixSortPairs(keys, vals, 64)
+	RadixSortPairs(nil, keys, vals, 64)
 	for i := range keys {
 		if keys[i] != want[i] {
 			t.Fatalf("64-bit radix: keys[%d] = %d, want %d", i, keys[i], want[i])
@@ -76,11 +76,11 @@ func TestRadixSort64Bits(t *testing.T) {
 func TestRadixSortZeroAndOversizeBits(t *testing.T) {
 	keys := []uint64{3, 1, 2}
 	vals := []int32{0, 1, 2}
-	RadixSortPairs(keys, vals, 0) // no-op
+	RadixSortPairs(nil, keys, vals, 0) // no-op
 	if keys[0] != 3 {
 		t.Fatal("bits=0 should not sort")
 	}
-	RadixSortPairs(keys, vals, 1000) // clamped to 64
+	RadixSortPairs(nil, keys, vals, 1000) // clamped to 64
 	if keys[0] != 1 || keys[2] != 3 {
 		t.Fatalf("oversize bits: %v", keys)
 	}
@@ -88,19 +88,19 @@ func TestRadixSortZeroAndOversizeBits(t *testing.T) {
 
 func TestFilterAllAndNone(t *testing.T) {
 	a := []int{1, 2, 3}
-	if got := Filter(a, func(int) bool { return true }); len(got) != 3 {
+	if got := Filter(nil, a, func(int) bool { return true }); len(got) != 3 {
 		t.Fatalf("all: %v", got)
 	}
-	if got := Filter(a, func(int) bool { return false }); len(got) != 0 {
+	if got := Filter(nil, a, func(int) bool { return false }); len(got) != 0 {
 		t.Fatalf("none: %v", got)
 	}
-	if got := Filter([]int(nil), func(int) bool { return true }); got != nil {
+	if got := Filter(nil, []int(nil), func(int) bool { return true }); got != nil {
 		t.Fatalf("nil input: %v", got)
 	}
 }
 
 func TestSemisortSingleElement(t *testing.T) {
-	res := Semisort([]uint64{42})
+	res := Semisort(nil, []uint64{42})
 	if res.NumGroups() != 1 || res.Order[0] != 0 {
 		t.Fatalf("single element: %+v", res)
 	}
@@ -109,7 +109,7 @@ func TestSemisortSingleElement(t *testing.T) {
 func TestPrefixSumFloat(t *testing.T) {
 	a := []float64{0.5, 1.5, 2.0}
 	out := make([]float64, 3)
-	total := PrefixSum(a, out)
+	total := PrefixSum(nil, a, out)
 	if total != 4.0 || out[0] != 0 || out[1] != 0.5 || out[2] != 2.0 {
 		t.Fatalf("float scan: total=%v out=%v", total, out)
 	}

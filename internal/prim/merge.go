@@ -11,7 +11,7 @@ import (
 // paper's description (Section 2): equally spaced pivots from the larger side
 // are binary-searched in the other side, creating independent sub-merges that
 // run in parallel and are each solved serially. O(n) work, O(log n) depth.
-func Merge[T any](a, b, out []T, less func(x, y T) bool) {
+func Merge[T any](ex *parallel.Pool, a, b, out []T, less func(x, y T) bool) {
 	n := len(a) + len(b)
 	if n == 0 {
 		return
@@ -26,7 +26,7 @@ func Merge[T any](a, b, out []T, less func(x, y T) bool) {
 		return
 	}
 	// Choose the number of sub-merges proportional to available workers.
-	pieces := parallel.Workers() * 4
+	pieces := ex.Workers() * 4
 	if pieces > n/serialCutoff+1 {
 		pieces = n/serialCutoff + 1
 	}
@@ -43,7 +43,7 @@ func Merge[T any](a, b, out []T, less func(x, y T) bool) {
 	for k := 1; k < pieces; k++ {
 		aCut[k] = len(a) * k / pieces
 	}
-	parallel.For(pieces-1, func(i int) {
+	ex.For(pieces-1, func(i int) {
 		k := i + 1
 		pivot := a[aCut[k]-1] // last element of piece k-1's a-range
 		// All b elements strictly less than pivot go to earlier pieces;
@@ -52,7 +52,7 @@ func Merge[T any](a, b, out []T, less func(x, y T) bool) {
 	})
 	// bCut must be non-decreasing; binary searches on a sorted b guarantee it
 	// when pivots are non-decreasing, which they are since a is sorted.
-	parallel.ForGrain(pieces, 1, func(k int) {
+	ex.ForGrain(pieces, 1, func(k int) {
 		alo, ahi := aCut[k], aCut[k+1]
 		blo, bhi := bCut[k], bCut[k+1]
 		serialMerge(a[alo:ahi], b[blo:bhi], out[alo+blo:ahi+bhi], less)
@@ -86,17 +86,17 @@ func serialMerge[T any](a, b, out []T, less func(x, y T) bool) {
 // Sort sorts a in place using a parallel merge sort built on Merge: the two
 // halves are sorted in parallel (fork-join) and combined with the parallel
 // merge. O(n log n) work, polylogarithmic depth. The sort is stable.
-func Sort[T any](a []T, less func(x, y T) bool) {
+func Sort[T any](ex *parallel.Pool, a []T, less func(x, y T) bool) {
 	if len(a) < 2 {
 		return
 	}
 	buf := make([]T, len(a))
-	mergeSort(a, buf, less, parallel.Workers())
+	mergeSort(ex, a, buf, less, ex.Workers())
 }
 
 // mergeSort sorts a using buf as scratch. budget limits fork depth so that at
 // most ~2*budget goroutines are live.
-func mergeSort[T any](a, buf []T, less func(x, y T) bool, budget int) {
+func mergeSort[T any](ex *parallel.Pool, a, buf []T, less func(x, y T) bool, budget int) {
 	const serialCutoff = 8192
 	if len(a) <= serialCutoff || budget <= 1 {
 		sort.SliceStable(a, func(i, j int) bool { return less(a[i], a[j]) })
@@ -104,14 +104,14 @@ func mergeSort[T any](a, buf []T, less func(x, y T) bool, budget int) {
 	}
 	mid := len(a) / 2
 	parallel.Do(
-		func() { mergeSort(a[:mid], buf[:mid], less, budget/2) },
-		func() { mergeSort(a[mid:], buf[mid:], less, budget-budget/2) },
+		func() { mergeSort(ex, a[:mid], buf[:mid], less, budget/2) },
+		func() { mergeSort(ex, a[mid:], buf[mid:], less, budget-budget/2) },
 	)
-	Merge(a[:mid], a[mid:], buf, less)
+	Merge(ex, a[:mid], a[mid:], buf, less)
 	copy(a, buf)
 }
 
 // SortInts sorts a slice of int32 keys ascending, in parallel.
-func SortInts(a []int32) {
-	Sort(a, func(x, y int32) bool { return x < y })
+func SortInts(ex *parallel.Pool, a []int32) {
+	Sort(ex, a, func(x, y int32) bool { return x < y })
 }

@@ -14,7 +14,7 @@ func TestPrefixSumMatchesSerial(t *testing.T) {
 			a[i] = int64(x)
 		}
 		out := make([]int64, len(a))
-		total := PrefixSum(a, out)
+		total := PrefixSum(nil, a, out)
 		var run int64
 		for i := range a {
 			if out[i] != run {
@@ -35,7 +35,7 @@ func TestPrefixSumLargeInPlace(t *testing.T) {
 	for i := range a {
 		a[i] = 1
 	}
-	total := PrefixSumInPlace(a)
+	total := PrefixSumInPlace(nil, a)
 	if total != n {
 		t.Fatalf("total = %d, want %d", total, n)
 	}
@@ -47,7 +47,7 @@ func TestPrefixSumLargeInPlace(t *testing.T) {
 }
 
 func TestPrefixSumEmpty(t *testing.T) {
-	if got := PrefixSum[int](nil, nil); got != 0 {
+	if got := PrefixSum[int](nil, nil, nil); got != 0 {
 		t.Fatalf("empty prefix sum = %v", got)
 	}
 }
@@ -55,7 +55,7 @@ func TestPrefixSumEmpty(t *testing.T) {
 func TestFilterPreservesOrder(t *testing.T) {
 	f := func(xs []int16) bool {
 		pred := func(x int16) bool { return x%3 == 0 }
-		got := Filter(xs, pred)
+		got := Filter(nil, xs, pred)
 		var want []int16
 		for _, x := range xs {
 			if pred(x) {
@@ -79,7 +79,7 @@ func TestFilterPreservesOrder(t *testing.T) {
 
 func TestFilterIndexLarge(t *testing.T) {
 	n := 1 << 19
-	idx := FilterIndex(n, func(i int) bool { return i%7 == 0 })
+	idx := FilterIndex(nil, n, func(i int) bool { return i%7 == 0 })
 	want := (n + 6) / 7
 	if len(idx) != want {
 		t.Fatalf("len = %d, want %d", len(idx), want)
@@ -94,14 +94,14 @@ func TestFilterIndexLarge(t *testing.T) {
 func TestPack(t *testing.T) {
 	a := []string{"a", "b", "c", "d"}
 	flags := []bool{true, false, false, true}
-	got := Pack(a, flags)
+	got := Pack(nil, a, flags)
 	if len(got) != 2 || got[0] != "a" || got[1] != "d" {
 		t.Fatalf("Pack = %v", got)
 	}
 }
 
 func TestCountIf(t *testing.T) {
-	if got := CountIf(1000, func(i int) bool { return i < 10 }); got != 10 {
+	if got := CountIf(nil, 1000, func(i int) bool { return i < 10 }); got != 10 {
 		t.Fatalf("CountIf = %d, want 10", got)
 	}
 }
@@ -121,7 +121,7 @@ func TestMergeMatchesSerial(t *testing.T) {
 		sort.Ints(a)
 		sort.Ints(b)
 		out := make([]int, na+nb)
-		Merge(a, b, out, func(x, y int) bool { return x < y })
+		Merge(nil, a, b, out, func(x, y int) bool { return x < y })
 		want := append(append([]int{}, a...), b...)
 		sort.Ints(want)
 		for i := range out {
@@ -135,15 +135,15 @@ func TestMergeMatchesSerial(t *testing.T) {
 func TestMergeEmptySides(t *testing.T) {
 	less := func(x, y int) bool { return x < y }
 	out := make([]int, 3)
-	Merge(nil, []int{1, 2, 3}, out, less)
+	Merge(nil, nil, []int{1, 2, 3}, out, less)
 	if out[0] != 1 || out[2] != 3 {
 		t.Fatalf("merge with empty a: %v", out)
 	}
-	Merge([]int{4, 5, 6}, nil, out, less)
+	Merge(nil, []int{4, 5, 6}, nil, out, less)
 	if out[0] != 4 || out[2] != 6 {
 		t.Fatalf("merge with empty b: %v", out)
 	}
-	Merge(nil, nil, nil, less) // must not panic
+	Merge(nil, nil, nil, nil, less) // must not panic
 }
 
 func TestSortMatchesStdlib(t *testing.T) {
@@ -155,7 +155,7 @@ func TestSortMatchesStdlib(t *testing.T) {
 		}
 		want := append([]int{}, a...)
 		sort.Ints(want)
-		Sort(a, func(x, y int) bool { return x < y })
+		Sort(nil, a, func(x, y int) bool { return x < y })
 		for i := range a {
 			if a[i] != want[i] {
 				t.Fatalf("n=%d: a[%d] = %d, want %d", n, i, a[i], want[i])
@@ -172,7 +172,7 @@ func TestSortStability(t *testing.T) {
 	for i := range a {
 		a[i] = kv{k: rng.Intn(50), seq: i}
 	}
-	Sort(a, func(x, y kv) bool { return x.k < y.k })
+	Sort(nil, a, func(x, y kv) bool { return x.k < y.k })
 	for i := 1; i < n; i++ {
 		if a[i].k == a[i-1].k && a[i].seq < a[i-1].seq {
 			t.Fatalf("stability violated at %d", i)
@@ -198,7 +198,7 @@ func TestRadixSortPairsMatchesStdlib(t *testing.T) {
 			want[i] = pair{keys[i], vals[i]}
 		}
 		sort.SliceStable(want, func(i, j int) bool { return want[i].k < want[j].k })
-		RadixSortPairs(keys, vals, 32)
+		RadixSortPairs(nil, keys, vals, 32)
 		for i := 0; i < n; i++ {
 			if keys[i] != want[i].k || vals[i] != want[i].v {
 				t.Fatalf("n=%d idx=%d: got (%d,%d) want (%d,%d)",
@@ -211,7 +211,7 @@ func TestRadixSortPairsMatchesStdlib(t *testing.T) {
 func TestRadixSortPartialBits(t *testing.T) {
 	keys := []uint64{5, 3, 5, 1, 0, 7, 2}
 	vals := []int32{0, 1, 2, 3, 4, 5, 6}
-	RadixSortPairs(keys, vals, 3)
+	RadixSortPairs(nil, keys, vals, 3)
 	for i := 1; i < len(keys); i++ {
 		if keys[i] < keys[i-1] {
 			t.Fatalf("not sorted at %d: %v", i, keys)
@@ -229,7 +229,7 @@ func TestIntegerSort(t *testing.T) {
 		keys[i] = int32(rng.Intn(keyRange))
 		vals[i] = int32(i)
 	}
-	IntegerSort(keys, vals, keyRange)
+	IntegerSort(nil, keys, vals, keyRange)
 	for i := 1; i < n; i++ {
 		if keys[i] < keys[i-1] {
 			t.Fatalf("not sorted at %d", i)
@@ -250,7 +250,7 @@ func TestSemisortGroupsContiguous(t *testing.T) {
 		for i := range keys {
 			keys[i] = uint64(rng.Intn(97)) // few distinct keys -> big groups
 		}
-		res := Semisort(keys)
+		res := Semisort(nil, keys)
 		if len(res.Order) != n {
 			t.Fatalf("order length %d, want %d", len(res.Order), n)
 		}
@@ -294,7 +294,7 @@ func TestSemisortGroupsContiguous(t *testing.T) {
 
 func TestSemisortAllEqualKeys(t *testing.T) {
 	keys := make([]uint64, 100000)
-	res := Semisort(keys)
+	res := Semisort(nil, keys)
 	if res.NumGroups() != 1 {
 		t.Fatalf("groups = %d, want 1", res.NumGroups())
 	}
@@ -306,7 +306,7 @@ func TestSemisortAllDistinctKeys(t *testing.T) {
 	for i := range keys {
 		keys[i] = uint64(i) * 2654435761
 	}
-	res := Semisort(keys)
+	res := Semisort(nil, keys)
 	if res.NumGroups() != n {
 		t.Fatalf("groups = %d, want %d", res.NumGroups(), n)
 	}

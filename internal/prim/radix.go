@@ -17,7 +17,7 @@ const radixMask = radixBuckets - 1
 // keys and vals are overwritten with the sorted order; len(vals) must equal
 // len(keys). Passing bits < 64 skips passes for high zero digits, which is how
 // the quadtree sorts child indices in a single pass.
-func RadixSortPairs[V any](keys []uint64, vals []V, bits int) {
+func RadixSortPairs[V any](ex *parallel.Pool, keys []uint64, vals []V, bits int) {
 	n := len(keys)
 	if n < 2 {
 		return
@@ -33,7 +33,7 @@ func RadixSortPairs[V any](keys []uint64, vals []V, bits int) {
 	src, dst := keys, keyBuf
 	vsrc, vdst := vals, valBuf
 	for shift := 0; shift < bits; shift += radixBits {
-		countingPass(src, vsrc, dst, vdst, uint(shift))
+		countingPass(ex, src, vsrc, dst, vdst, uint(shift))
 		src, dst = dst, src
 		vsrc, vdst = vdst, vsrc
 	}
@@ -45,12 +45,12 @@ func RadixSortPairs[V any](keys []uint64, vals []V, bits int) {
 
 // countingPass performs one stable counting-sort pass on digit
 // (key >> shift) & radixMask.
-func countingPass[V any](keys []uint64, vals []V, outKeys []uint64, outVals []V, shift uint) {
+func countingPass[V any](ex *parallel.Pool, keys []uint64, vals []V, outKeys []uint64, outVals []V, shift uint) {
 	n := len(keys)
-	nb := parallel.NumBlocks(n, 0)
+	nb := ex.NumBlocks(n, 0)
 	// counts[b*radixBuckets + d] = number of items with digit d in block b.
 	counts := make([]int32, nb*radixBuckets)
-	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
 		c := counts[b*radixBuckets : (b+1)*radixBuckets]
 		for i := lo; i < hi; i++ {
 			c[(keys[i]>>shift)&radixMask]++
@@ -67,7 +67,7 @@ func countingPass[V any](keys []uint64, vals []V, outKeys []uint64, outVals []V,
 			run += c
 		}
 	}
-	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
 		// Local copy of this block's start offsets (counts is shared).
 		offs := make([]int32, radixBuckets)
 		for d := 0; d < radixBuckets; d++ {
@@ -86,7 +86,7 @@ func countingPass[V any](keys []uint64, vals []V, outKeys []uint64, outVals []V,
 // IntegerSort sorts int32 keys from [0, keyRange) ascending in O(n) work,
 // carrying vals along. It is the primitive the parallel quadtree construction
 // uses (keys are child indices in [0, 2^d)).
-func IntegerSort[V any](keys []int32, vals []V, keyRange int) {
+func IntegerSort[V any](ex *parallel.Pool, keys []int32, vals []V, keyRange int) {
 	bits := 0
 	for (1 << bits) < keyRange {
 		bits++
@@ -95,7 +95,7 @@ func IntegerSort[V any](keys []int32, vals []V, keyRange int) {
 		return
 	}
 	k64 := make([]uint64, len(keys))
-	parallel.For(len(keys), func(i int) { k64[i] = uint64(uint32(keys[i])) })
-	RadixSortPairs(k64, vals, bits)
-	parallel.For(len(keys), func(i int) { keys[i] = int32(k64[i]) })
+	ex.For(len(keys), func(i int) { k64[i] = uint64(uint32(keys[i])) })
+	RadixSortPairs(ex, k64, vals, bits)
+	ex.For(len(keys), func(i int) { keys[i] = int32(k64[i]) })
 }

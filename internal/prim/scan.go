@@ -3,6 +3,11 @@
 // sort, integer sort, and semisort (Table 1 of the paper). Each primitive
 // matches the work bound of its PBBS counterpart; depth is polylogarithmic in
 // the blocked-scheduler model of internal/parallel.
+//
+// Every primitive takes an explicit *parallel.Pool as its first argument and
+// sizes its block partition by that pool's budget; a nil pool means the
+// default (GOMAXPROCS) budget. Primitives keep no state between calls, so
+// concurrent invocations with different pools never interfere.
 package prim
 
 import (
@@ -18,12 +23,12 @@ type Number interface {
 // a[:i]) and returns the total sum of a. out must have len(a) elements; it may
 // alias a. This is the classic two-pass blocked scan: per-block sums, a serial
 // scan over the (few) block sums, then a per-block local scan. O(n) work.
-func PrefixSum[T Number](a, out []T) T {
+func PrefixSum[T Number](ex *parallel.Pool, a, out []T) T {
 	n := len(a)
 	if n == 0 {
 		return 0
 	}
-	nb := parallel.NumBlocks(n, 0)
+	nb := ex.NumBlocks(n, 0)
 	if nb == 1 {
 		var run T
 		for i := 0; i < n; i++ {
@@ -34,7 +39,7 @@ func PrefixSum[T Number](a, out []T) T {
 		return run
 	}
 	sums := make([]T, nb)
-	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
 		var s T
 		for i := lo; i < hi; i++ {
 			s += a[i]
@@ -47,7 +52,7 @@ func PrefixSum[T Number](a, out []T) T {
 		sums[b] = total
 		total += s
 	}
-	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
 		run := sums[b]
 		for i := lo; i < hi; i++ {
 			v := a[i]
@@ -60,21 +65,21 @@ func PrefixSum[T Number](a, out []T) T {
 
 // PrefixSumInPlace overwrites a with its exclusive prefix sum and returns the
 // total.
-func PrefixSumInPlace[T Number](a []T) T {
-	return PrefixSum(a, a)
+func PrefixSumInPlace[T Number](ex *parallel.Pool, a []T) T {
+	return PrefixSum(ex, a, a)
 }
 
 // Filter returns the elements of a for which pred is true, preserving order.
 // O(n) work: per-block count, prefix sum of counts, per-block compaction into
 // unique output ranges.
-func Filter[T any](a []T, pred func(T) bool) []T {
+func Filter[T any](ex *parallel.Pool, a []T, pred func(T) bool) []T {
 	n := len(a)
 	if n == 0 {
 		return nil
 	}
-	nb := parallel.NumBlocks(n, 0)
+	nb := ex.NumBlocks(n, 0)
 	counts := make([]int, nb)
-	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if pred(a[i]) {
@@ -83,9 +88,9 @@ func Filter[T any](a []T, pred func(T) bool) []T {
 		}
 		counts[b] = c
 	})
-	total := PrefixSumInPlace(counts)
+	total := PrefixSumInPlace(ex, counts)
 	out := make([]T, total)
-	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
 		w := counts[b]
 		for i := lo; i < hi; i++ {
 			if pred(a[i]) {
@@ -100,13 +105,13 @@ func Filter[T any](a []T, pred func(T) bool) []T {
 // FilterIndex returns the indices i in [0, n) for which pred(i) is true, in
 // increasing order. This is the form most algorithms in the library use
 // (e.g. "collect the core cells").
-func FilterIndex(n int, pred func(int) bool) []int32 {
+func FilterIndex(ex *parallel.Pool, n int, pred func(int) bool) []int32 {
 	if n == 0 {
 		return nil
 	}
-	nb := parallel.NumBlocks(n, 0)
+	nb := ex.NumBlocks(n, 0)
 	counts := make([]int, nb)
-	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if pred(i) {
@@ -115,9 +120,9 @@ func FilterIndex(n int, pred func(int) bool) []int32 {
 		}
 		counts[b] = c
 	})
-	total := PrefixSumInPlace(counts)
+	total := PrefixSumInPlace(ex, counts)
 	out := make([]int32, total)
-	parallel.BlockedForIdx(n, 0, func(b, lo, hi int) {
+	ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
 		w := counts[b]
 		for i := lo; i < hi; i++ {
 			if pred(i) {
@@ -131,18 +136,18 @@ func FilterIndex(n int, pred func(int) bool) []int32 {
 
 // Pack copies a[i] for the true positions of flags into a fresh slice,
 // preserving order. len(flags) must equal len(a).
-func Pack[T any](a []T, flags []bool) []T {
-	idx := FilterIndex(len(a), func(i int) bool { return flags[i] })
+func Pack[T any](ex *parallel.Pool, a []T, flags []bool) []T {
+	idx := FilterIndex(ex, len(a), func(i int) bool { return flags[i] })
 	out := make([]T, len(idx))
-	parallel.For(len(idx), func(i int) {
+	ex.For(len(idx), func(i int) {
 		out[i] = a[idx[i]]
 	})
 	return out
 }
 
 // CountIf counts the i in [0, n) for which pred(i) holds, in parallel.
-func CountIf(n int, pred func(int) bool) int {
-	return parallel.ReduceInt(n, func(i int) int {
+func CountIf(ex *parallel.Pool, n int, pred func(int) bool) int {
+	return ex.ReduceInt(n, func(i int) int {
 		if pred(i) {
 			return 1
 		}

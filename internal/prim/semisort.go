@@ -34,25 +34,25 @@ func (r *SemisortResult) NumGroups() int { return len(r.GroupStart) - 1 }
 // 32 bits of the hash (O(n) work, constant passes), then split equal-hash runs
 // by the true key (runs are O(1) expected length) and emit group boundaries
 // with a parallel filter. Expected O(n) work, matching the bound in Table 1.
-func Semisort(keys []uint64) *SemisortResult {
+func Semisort(ex *parallel.Pool, keys []uint64) *SemisortResult {
 	n := len(keys)
 	if n == 0 {
 		return &SemisortResult{Order: nil, GroupStart: []int32{0}}
 	}
 	hashes := make([]uint64, n)
 	order := make([]int32, n)
-	parallel.For(n, func(i int) {
+	ex.For(n, func(i int) {
 		hashes[i] = Mix64(keys[i]) & 0xffffffff
 		order[i] = int32(i)
 	})
-	RadixSortPairs(hashes, order, 32)
+	RadixSortPairs(ex, hashes, order, 32)
 
 	// A position i starts a group iff its hash differs from the previous
 	// position's hash, or (rare 32-bit collision) hashes match but keys
 	// differ. Equal keys always have equal hashes, so they can only be
 	// interleaved with colliding different keys; fix those runs serially —
 	// they have O(1) expected length.
-	fixCollisionRuns(hashes, order, keys)
+	fixCollisionRuns(ex, hashes, order, keys)
 
 	isStart := func(i int) bool {
 		if i == 0 {
@@ -60,7 +60,7 @@ func Semisort(keys []uint64) *SemisortResult {
 		}
 		return keys[order[i]] != keys[order[i-1]]
 	}
-	starts := FilterIndex(n, isStart)
+	starts := FilterIndex(ex, n, isStart)
 	groupStart := make([]int32, len(starts)+1)
 	copy(groupStart, starts)
 	groupStart[len(starts)] = int32(n)
@@ -69,15 +69,15 @@ func Semisort(keys []uint64) *SemisortResult {
 
 // fixCollisionRuns sorts, within each maximal run of equal hashes, the order
 // entries by true key so equal keys become contiguous.
-func fixCollisionRuns(hashes []uint64, order []int32, keys []uint64) {
+func fixCollisionRuns(ex *parallel.Pool, hashes []uint64, order []int32, keys []uint64) {
 	n := len(hashes)
 	// Runs of length 1 (the common case) need no work. Detect run heads in
 	// parallel and process each run serially.
-	heads := FilterIndex(n, func(i int) bool {
+	heads := FilterIndex(ex, n, func(i int) bool {
 		return (i == 0 || hashes[i] != hashes[i-1]) &&
 			i+1 < n && hashes[i+1] == hashes[i]
 	})
-	parallel.ForGrain(len(heads), 1, func(h int) {
+	ex.ForGrain(len(heads), 1, func(h int) {
 		lo := int(heads[h])
 		hi := lo + 1
 		for hi < n && hashes[hi] == hashes[lo] {

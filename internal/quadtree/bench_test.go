@@ -13,7 +13,7 @@ func BenchmarkBuildExact3D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		work := make([]int32, len(idx))
 		copy(work, idx)
-		Build(pts, work, lo, 10, -1)
+		Build(nil, pts, work, lo, 10, -1)
 	}
 }
 
@@ -26,14 +26,14 @@ func BenchmarkBuildApprox3D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		work := make([]int32, len(idx))
 		copy(work, idx)
-		Build(pts, work, lo, 10, depth)
+		Build(nil, pts, work, lo, 10, depth)
 	}
 }
 
 func BenchmarkCountWithin(b *testing.B) {
 	lo := []float64{0, 0, 0}
 	pts := cellPoints(50000, 3, lo, 10, 1)
-	tree := Build(pts, allIdx(pts.N), lo, 10, -1)
+	tree := Build(nil, pts, allIdx(pts.N), lo, 10, -1)
 	rng := rand.New(rand.NewSource(2))
 	queries := make([][]float64, 256)
 	for i := range queries {
@@ -49,7 +49,7 @@ func BenchmarkCountWithin(b *testing.B) {
 func BenchmarkApproxAnyWithin(b *testing.B) {
 	lo := []float64{0, 0, 0}
 	pts := cellPoints(50000, 3, lo, 10, 1)
-	tree := Build(pts, allIdx(pts.N), lo, 10, ApproxDepth(0.01))
+	tree := Build(nil, pts, allIdx(pts.N), lo, 10, ApproxDepth(0.01))
 	rng := rand.New(rand.NewSource(3))
 	queries := make([][]float64, 256)
 	for i := range queries {

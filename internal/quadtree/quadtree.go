@@ -39,18 +39,19 @@ type Tree struct {
 	pts  geom.Points
 	idx  []int32
 	root *node
+	ex   *parallel.Pool // build-time executor; queries are serial
 }
 
 // Build constructs a quadtree over the given point indices, rooted at the
 // cube (boxLo, side). maxDepth < 0 builds the exact tree; maxDepth >= 0 also
 // stops subdividing after maxDepth levels (the approximate tree of Section
 // 5.2 uses ApproxDepth(rho)).
-func Build(pts geom.Points, idx []int32, boxLo []float64, side float64, maxDepth int) *Tree {
-	t := &Tree{pts: pts, idx: idx}
+func Build(ex *parallel.Pool, pts geom.Points, idx []int32, boxLo []float64, side float64, maxDepth int) *Tree {
+	t := &Tree{pts: pts, idx: idx, ex: ex}
 	if len(idx) > 0 {
 		lo := make([]float64, pts.D)
 		copy(lo, boxLo)
-		t.root = t.build(lo, side, 0, int32(len(idx)), 0, maxDepth, parallel.Workers())
+		t.root = t.build(lo, side, 0, int32(len(idx)), 0, maxDepth, ex.Workers())
 	}
 	return t
 }
@@ -113,7 +114,7 @@ func (t *Tree) build(lo []float64, side float64, start, count int32, depth, maxD
 	// nodes, serial counting sort otherwise.
 	keyRange := 1 << d
 	if count >= 8192 && keyRange <= 256 {
-		prim.IntegerSort(keys, sub, keyRange)
+		prim.IntegerSort(t.ex, keys, sub, keyRange)
 	} else {
 		countingSortByKey(keys, sub, keyRange)
 	}
@@ -146,7 +147,7 @@ func (t *Tree) build(lo []float64, side float64, start, count int32, depth, maxD
 		n.children[k] = t.build(cl, half, start+r.lo, r.hi-r.lo, depth+1, maxDepth, 1)
 	}
 	if count > 4096 && budget > 1 {
-		parallel.ForGrain(len(ranges), 1, buildChild)
+		t.ex.ForGrain(len(ranges), 1, buildChild)
 	} else {
 		for k := range ranges {
 			buildChild(k)

@@ -44,7 +44,7 @@ func TestCountWithinMatchesBrute(t *testing.T) {
 		lo := make([]float64, d)
 		side := 10.0
 		pts := cellPoints(3000, d, lo, side, int64(d))
-		tree := Build(pts, allIdx(pts.N), lo, side, -1)
+		tree := Build(nil, pts, allIdx(pts.N), lo, side, -1)
 		rng := rand.New(rand.NewSource(50 + int64(d)))
 		for trial := 0; trial < 40; trial++ {
 			q := make([]float64, d)
@@ -64,7 +64,7 @@ func TestAnyWithinMatchesCount(t *testing.T) {
 	d := 3
 	lo := make([]float64, d)
 	pts := cellPoints(2000, d, lo, 5.0, 9)
-	tree := Build(pts, allIdx(pts.N), lo, 5.0, -1)
+	tree := Build(nil, pts, allIdx(pts.N), lo, 5.0, -1)
 	rng := rand.New(rand.NewSource(10))
 	for trial := 0; trial < 100; trial++ {
 		q := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
@@ -83,7 +83,7 @@ func TestApproxCountSandwich(t *testing.T) {
 		side := eps / math.Sqrt(float64(d))
 		lo := []float64{0, 0, 0}
 		pts := cellPoints(2000, d, lo, side, 77)
-		tree := Build(pts, allIdx(pts.N), lo, side, ApproxDepth(rho))
+		tree := Build(nil, pts, allIdx(pts.N), lo, side, ApproxDepth(rho))
 		rng := rand.New(rand.NewSource(78))
 		for trial := 0; trial < 60; trial++ {
 			q := make([]float64, d)
@@ -122,7 +122,7 @@ func TestApproxDepth(t *testing.T) {
 
 func TestEmptyTree(t *testing.T) {
 	pts := geom.Points{N: 0, D: 2}
-	tree := Build(pts, nil, []float64{0, 0}, 1.0, -1)
+	tree := Build(nil, pts, nil, []float64{0, 0}, 1.0, -1)
 	if tree.CountWithin([]float64{0, 0}, 100) != 0 {
 		t.Fatal("empty tree counted points")
 	}
@@ -141,7 +141,7 @@ func TestIdenticalPoints(t *testing.T) {
 		rows[i] = []float64{0.5, 0.5}
 	}
 	pts, _ := geom.FromRows(rows)
-	tree := Build(pts, allIdx(pts.N), []float64{0, 0}, 1.0, -1)
+	tree := Build(nil, pts, allIdx(pts.N), []float64{0, 0}, 1.0, -1)
 	if got := tree.CountWithin([]float64{0.5, 0.5}, 0); got != 500 {
 		t.Fatalf("identical points count = %d, want 500", got)
 	}
@@ -157,7 +157,7 @@ func TestSubsetTree(t *testing.T) {
 	for i := 0; i < 100; i += 2 {
 		idx = append(idx, int32(i))
 	}
-	tree := Build(pts, idx, lo, 4.0, -1)
+	tree := Build(nil, pts, idx, lo, 4.0, -1)
 	if tree.Size() != 50 {
 		t.Fatalf("size = %d", tree.Size())
 	}
@@ -172,7 +172,7 @@ func TestHighDimensionalTree(t *testing.T) {
 	d := 10
 	lo := make([]float64, d)
 	pts := cellPoints(1500, d, lo, 6.0, 42)
-	tree := Build(pts, allIdx(pts.N), lo, 6.0, -1)
+	tree := Build(nil, pts, allIdx(pts.N), lo, 6.0, -1)
 	q := make([]float64, d)
 	for j := range q {
 		q[j] = 3.0

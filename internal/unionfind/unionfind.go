@@ -8,7 +8,12 @@
 // in contrast to PDSDBSCAN's lock-based structure.
 package unionfind
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+)
 
 // UF is a concurrent union-find over the elements [0, n).
 type UF struct {
@@ -63,6 +68,27 @@ func (u *UF) Union(x, y int32) int32 {
 			return ry
 		}
 	}
+}
+
+// DenseRoots finds, in parallel on ex, the roots of all elements i for which
+// include(i) is true, and returns them ascending together with a dense
+// relabeling: dense[r] = index of root r in roots (meaningful only for
+// returned roots). This is the label-densification step shared by every
+// clustering finisher (coreLabels, the baselines). Many elements share a
+// root, so the marking pass uses atomic same-value stores to stay race-free;
+// callers must not run concurrent Unions during the call.
+func DenseRoots(ex *parallel.Pool, uf *UF, include func(i int32) bool) (roots []int32, dense []int32) {
+	n := uf.Len()
+	isRoot := make([]int32, n)
+	ex.For(n, func(i int) {
+		if include(int32(i)) {
+			atomic.StoreInt32(&isRoot[uf.Find(int32(i))], 1)
+		}
+	})
+	roots = prim.FilterIndex(ex, n, func(i int) bool { return isRoot[i] != 0 })
+	dense = make([]int32, n)
+	ex.For(len(roots), func(i int) { dense[roots[i]] = int32(i) })
+	return roots, dense
 }
 
 // SameSet reports whether x and y are currently in the same set. In the
