@@ -68,11 +68,10 @@ func newClusterer(pts geom.Points, eps float64) (*Clusterer, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("pdbscan: Eps must be positive, got %v", eps)
 	}
-	// Non-finite coordinates would corrupt the grid construction (NaN cell
-	// coordinates); reject them up front.
-	if bad := firstNonFinite(pts.Data); bad >= 0 {
-		return nil, fmt.Errorf("pdbscan: point %d has a non-finite coordinate (%v)",
-			bad/pts.D, pts.Data[bad])
+	// Non-finite or out-of-lattice-range coordinates would corrupt the grid
+	// construction; reject them up front with a clear error.
+	if err := checkCoords(pts.Data, pts.D, eps); err != nil {
+		return nil, err
 	}
 	return &Clusterer{pts: pts, eps: eps}, nil
 }
@@ -86,12 +85,27 @@ func (c *Clusterer) NumPoints() int { return c.pts.N }
 // Dims returns the dimensionality of the points.
 func (c *Clusterer) Dims() int { return c.pts.D }
 
-// resolveMethod maps cfg.Method (defaulting by dimension) to the pipeline
+// validateRunConfig checks the Config fields every Run-shaped entry point
+// (Clusterer.Run, StreamingClusterer.Run) must reject up front.
+func validateRunConfig(cfg *Config) error {
+	if cfg.MinPts < 1 {
+		return fmt.Errorf("pdbscan: MinPts must be >= 1, got %d", cfg.MinPts)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("pdbscan: Workers must be >= 0, got %d (0 means all CPUs)", cfg.Workers)
+	}
+	if cfg.Buckets < 0 {
+		return fmt.Errorf("pdbscan: Buckets must not be negative, got %d (0 selects the default of 32)", cfg.Buckets)
+	}
+	return nil
+}
+
+// resolveMethod maps cfg.Method (defaulting by dimension d) to the pipeline
 // strategies, reporting whether the 2D box layout is needed.
-func (c *Clusterer) resolveMethod(cfg *Config, params *core.Params) (useBox bool, err error) {
+func resolveMethod(d int, cfg *Config, params *core.Params) (useBox bool, err error) {
 	method := cfg.Method
 	if method == "" || method == MethodAuto {
-		if c.pts.D == 2 {
+		if d == 2 {
 			method = Method2DGridBCP
 		} else {
 			method = MethodExact
@@ -123,8 +137,8 @@ func (c *Clusterer) resolveMethod(cfg *Config, params *core.Params) (useBox bool
 	}
 	is2DOnly := method == Method2DGridBCP || method == Method2DGridUSEC ||
 		method == Method2DGridDelaunay || useBox
-	if is2DOnly && c.pts.D != 2 {
-		return false, fmt.Errorf("pdbscan: method %q requires 2-dimensional points, got d=%d", method, c.pts.D)
+	if is2DOnly && d != 2 {
+		return false, fmt.Errorf("pdbscan: method %q requires 2-dimensional points, got d=%d", method, d)
 	}
 	return useBox, nil
 }
@@ -167,8 +181,11 @@ func (c *Clusterer) Prepare(cfg Config) error {
 	if err := c.checkEps(cfg); err != nil {
 		return err
 	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("pdbscan: Workers must be >= 0, got %d (0 means all CPUs)", cfg.Workers)
+	}
 	var params core.Params
-	useBox, err := c.resolveMethod(&cfg, &params)
+	useBox, err := resolveMethod(c.pts.D, &cfg, &params)
 	if err != nil {
 		return err
 	}
@@ -196,8 +213,8 @@ func (c *Clusterer) Run(cfg Config) (*Result, error) {
 	if err := c.checkEps(cfg); err != nil {
 		return nil, err
 	}
-	if cfg.MinPts < 1 {
-		return nil, fmt.Errorf("pdbscan: MinPts must be >= 1, got %d", cfg.MinPts)
+	if err := validateRunConfig(&cfg); err != nil {
+		return nil, err
 	}
 	ex := parallel.NewPool(cfg.Workers)
 	params := core.Params{
@@ -207,7 +224,7 @@ func (c *Clusterer) Run(cfg Config) (*Result, error) {
 		Buckets:   cfg.Buckets,
 		Exec:      ex,
 	}
-	useBox, err := c.resolveMethod(&cfg, &params)
+	useBox, err := resolveMethod(c.pts.D, &cfg, &params)
 	if err != nil {
 		return nil, err
 	}

@@ -20,10 +20,11 @@ import (
 )
 
 type options struct {
-	n       int
-	seed    int64
-	threads int // 0 = all
-	full    bool
+	n        int
+	seed     int64
+	threads  int // 0 = all
+	full     bool
+	jsonPath string // stream experiment: write BENCH_stream.json here
 }
 
 var experiments = map[string]struct {
@@ -40,6 +41,7 @@ var experiments = map[string]struct {
 	"table2":   {"large-scale datasets vs RP-DBSCAN-style comparator (Table 2)", expTable2},
 	"ablation": {"design-choice ablations: neighbor finding, MarkCore strategy, bucketing batches", expAblation},
 	"verify":   {"cross-variant agreement at scale (all exact variants identical)", expVerify},
+	"stream":   {"sliding-window streaming ticks: incremental vs from-scratch (-json records BENCH_stream.json)", expStream},
 }
 
 func main() {
@@ -49,6 +51,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "dataset generation seed")
 	flag.IntVar(&o.threads, "threads", 0, "thread count for non-scaling experiments (0 = all)")
 	flag.BoolVar(&o.full, "full", false, "run all 11 datasets in fig6/7/8 instead of the default subset")
+	flag.StringVar(&o.jsonPath, "json", "", "stream experiment: write the machine-readable report to this file (e.g. BENCH_stream.json)")
 	flag.Parse()
 
 	if *exp == "" {

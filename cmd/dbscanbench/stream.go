@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"pdbscan"
+	"pdbscan/internal/dataset"
+)
+
+// streamTick is one measured tick of the sliding-window replay.
+type streamTick struct {
+	IncrementalNS int64 `json:"incremental_ns"`
+	ScratchNS     int64 `json:"scratch_ns"`
+	Cells         int   `json:"cells"`
+	DirtyCells    int   `json:"dirty_cells"`
+	Clusters      int   `json:"clusters"`
+}
+
+// streamReport is the BENCH_stream.json schema: the per-tick latency of the
+// incremental streaming path vs from-scratch re-clustering of the same
+// window, plus from-scratch timings of the standard methods on the final
+// window so one file tracks the whole perf trajectory.
+type streamReport struct {
+	Dataset       string           `json:"dataset"`
+	Window        int              `json:"window"`
+	Batch         int              `json:"batch"`
+	Eps           float64          `json:"eps"`
+	MinPts        int              `json:"min_pts"`
+	Threads       int              `json:"threads"`
+	Ticks         []streamTick     `json:"ticks"`
+	IncMeanNS     int64            `json:"incremental_mean_ns"`
+	IncP95NS      int64            `json:"incremental_p95_ns"`
+	ScratchMeanNS int64            `json:"scratch_mean_ns"`
+	Speedup       float64          `json:"speedup"`
+	DirtyFrac     float64          `json:"dirty_cell_fraction"`
+	Methods       map[string]int64 `json:"method_scratch_ns"`
+}
+
+// expStream replays a sliding window over the drift-2d stream, measuring the
+// per-tick latency of StreamingClusterer.Run against from-scratch Cluster on
+// the identical window, and (with -json) records the report.
+func expStream(o options) {
+	window := o.n / 5
+	if window < 2000 {
+		window = 2000
+	}
+	batch := window / 100
+	const eps, minPts = 4.0, 10
+	ticks := 20
+
+	pts := dataset.DriftStream(dataset.DriftStreamConfig{N: window + (ticks+1)*batch, D: 2, Seed: o.seed})
+	rows := make([][]float64, pts.N)
+	for i := range rows {
+		rows[i] = pts.At(i)
+	}
+
+	s, err := pdbscan.NewStreamingClusterer(2, eps)
+	if err != nil {
+		fatalf("stream: %v", err)
+	}
+	cfg := pdbscan.Config{MinPts: minPts, Method: pdbscan.Method2DGridBCP, Workers: o.threads}
+	if _, err := s.Insert(rows[:window]); err != nil {
+		fatalf("stream: %v", err)
+	}
+	if _, err := s.Run(cfg); err != nil {
+		fatalf("stream: %v", err)
+	}
+
+	rep := streamReport{
+		Dataset: "drift-2d", Window: window, Batch: batch,
+		Eps: eps, MinPts: minPts, Threads: o.threads,
+		Methods: map[string]int64{},
+	}
+	tbl := newTable(fmt.Sprintf("streaming ticks: window=%d batch=%d eps=%g minPts=%d", window, batch, eps, minPts),
+		"tick", "dirty/cells", "incremental", "scratch", "speedup")
+	next := window
+	var incSum, scrSum time.Duration
+	for tick := 0; tick < ticks; tick++ {
+		if _, err := s.Insert(rows[next : next+batch]); err != nil {
+			fatalf("stream: %v", err)
+		}
+		next += batch
+		s.Window(window)
+
+		start := time.Now()
+		res, err := s.Run(cfg)
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+		incDur := time.Since(start)
+		stats := s.LastRunStats()
+
+		cur := make([][]float64, 0, window)
+		for _, id := range s.IDs() {
+			row, _ := s.Point(id)
+			cur = append(cur, row)
+		}
+		scratchCfg := cfg
+		scratchCfg.Eps = eps
+		start = time.Now()
+		if _, err := pdbscan.Cluster(cur, scratchCfg); err != nil {
+			fatalf("stream: %v", err)
+		}
+		scrDur := time.Since(start)
+
+		incSum += incDur
+		scrSum += scrDur
+		rep.Ticks = append(rep.Ticks, streamTick{
+			IncrementalNS: incDur.Nanoseconds(),
+			ScratchNS:     scrDur.Nanoseconds(),
+			Cells:         stats.NumCells,
+			DirtyCells:    stats.DirtyCells,
+			Clusters:      res.NumClusters,
+		})
+		tbl.add(fmt.Sprint(tick),
+			fmt.Sprintf("%d/%d", stats.DirtyCells, stats.NumCells),
+			incDur.Round(time.Microsecond).String(),
+			scrDur.Round(time.Microsecond).String(),
+			fmtSpeedup(scrDur, incDur))
+	}
+	tbl.print()
+
+	rep.IncMeanNS = incSum.Nanoseconds() / int64(ticks)
+	rep.ScratchMeanNS = scrSum.Nanoseconds() / int64(ticks)
+	rep.Speedup = float64(rep.ScratchMeanNS) / float64(rep.IncMeanNS)
+	incNS := make([]int64, 0, ticks)
+	dirtySum, cellSum := 0, 0
+	for _, tk := range rep.Ticks {
+		incNS = append(incNS, tk.IncrementalNS)
+		dirtySum += tk.DirtyCells
+		cellSum += tk.Cells
+	}
+	sort.Slice(incNS, func(i, j int) bool { return incNS[i] < incNS[j] })
+	rep.IncP95NS = incNS[(len(incNS)*95)/100]
+	rep.DirtyFrac = float64(dirtySum) / float64(cellSum)
+	fmt.Printf("\nmean tick: incremental %v vs scratch %v -> %.2fx speedup at %.1f%% dirty cells\n",
+		time.Duration(rep.IncMeanNS).Round(time.Microsecond),
+		time.Duration(rep.ScratchMeanNS).Round(time.Microsecond),
+		rep.Speedup, 100*rep.DirtyFrac)
+
+	// From-scratch timings of the standard methods on the final window, so
+	// the JSON also tracks the non-streaming perf trajectory.
+	curPts := make([]float64, 0, window*2)
+	for _, id := range s.IDs() {
+		row, _ := s.Point(id)
+		curPts = append(curPts, row...)
+	}
+	for _, m := range []pdbscan.Method{pdbscan.MethodExact, pdbscan.MethodExactQt, pdbscan.Method2DGridBCP} {
+		start := time.Now()
+		if _, err := pdbscan.ClusterFlat(curPts, 2, pdbscan.Config{
+			Eps: eps, MinPts: minPts, Method: m, Workers: o.threads,
+		}); err != nil {
+			fatalf("stream: %v", err)
+		}
+		rep.Methods[string(m)] = time.Since(start).Nanoseconds()
+	}
+
+	if o.jsonPath != "" {
+		writeJSON(o.jsonPath, rep)
+		fmt.Printf("wrote %s\n", o.jsonPath)
+	}
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatalf("json: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("json: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,145 @@
+// Command dbscanstream demonstrates the incremental streaming clusterer: it
+// replays a sliding window over a generated point stream (datagen's drift
+// datasets are time-ordered for exactly this) and re-clusters every tick,
+// reporting per-tick latency, the dirty-cell fraction the tick actually had
+// to recompute, and — with -compare — the from-scratch latency and speedup on
+// the identical window.
+//
+// Usage:
+//
+//	dbscanstream -window 20000 -batch 200 -ticks 30 -eps 4 -minpts 10 -compare
+//	dbscanstream -i stream.csv -window 5000 -batch 100 -eps 0.01 -minpts 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pdbscan"
+	"pdbscan/internal/dataset"
+	"pdbscan/internal/geom"
+)
+
+func main() {
+	var (
+		input   = flag.String("i", "", "input points file (csv or bin; row order = stream order); empty generates -dataset")
+		name    = flag.String("dataset", "drift-2d", "generated stream when -i is empty (see datagen -list)")
+		window  = flag.Int("window", 20000, "sliding window size (points)")
+		batch   = flag.Int("batch", 200, "points inserted (and evicted) per tick")
+		ticks   = flag.Int("ticks", 30, "number of ticks to replay")
+		eps     = flag.Float64("eps", 4, "DBSCAN eps")
+		minPts  = flag.Int("minpts", 10, "DBSCAN minPts")
+		method  = flag.String("method", "", "method (empty = auto)")
+		rho     = flag.Float64("rho", 0, "rho for approx methods")
+		workers = flag.Int("workers", 0, "worker budget per run (0 = all CPUs)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		compare = flag.Bool("compare", false, "also time from-scratch Cluster on each tick's window")
+	)
+	flag.Parse()
+
+	if *window <= 0 || *batch <= 0 || *ticks <= 0 {
+		fmt.Fprintln(os.Stderr, "dbscanstream: -window, -batch, and -ticks must be positive")
+		os.Exit(2)
+	}
+	pts, err := loadStream(*input, *name, *window+*ticks**batch, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbscanstream:", err)
+		os.Exit(1)
+	}
+	if pts.N < *window+*batch {
+		fmt.Fprintf(os.Stderr, "dbscanstream: stream has %d points; need at least window+batch = %d\n",
+			pts.N, *window+*batch)
+		os.Exit(1)
+	}
+
+	s, err := pdbscan.NewStreamingClusterer(pts.D, *eps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbscanstream:", err)
+		os.Exit(1)
+	}
+	cfg := pdbscan.Config{
+		MinPts: *minPts, Method: pdbscan.Method(*method), Rho: *rho, Workers: *workers,
+	}
+	if _, err := s.InsertFlat(pts.Data[:*window*pts.D]); err != nil {
+		fmt.Fprintln(os.Stderr, "dbscanstream:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	if _, err := s.Run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dbscanstream:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("initial window: %d points (d=%d), first clustering in %v\n",
+		*window, pts.D, time.Since(start).Round(time.Microsecond))
+
+	header := "tick    clusters  noise    dirty/cells    tick-latency"
+	if *compare {
+		header += "    scratch      speedup"
+	}
+	fmt.Println(header)
+	var incSum, scrSum time.Duration
+	next := *window
+	maxTicks := (pts.N - *window) / *batch
+	if *ticks < maxTicks {
+		maxTicks = *ticks
+	}
+	if maxTicks <= 0 {
+		fmt.Fprintln(os.Stderr, "dbscanstream: stream too short for a single tick beyond the window")
+		os.Exit(1)
+	}
+	for tick := 0; tick < maxTicks; tick++ {
+		lo, hi := next*pts.D, (next+*batch)*pts.D
+		next += *batch
+		t0 := time.Now()
+		if _, err := s.InsertFlat(pts.Data[lo:hi]); err != nil {
+			fmt.Fprintln(os.Stderr, "dbscanstream:", err)
+			os.Exit(1)
+		}
+		s.Window(*window)
+		res, err := s.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbscanstream:", err)
+			os.Exit(1)
+		}
+		incDur := time.Since(t0)
+		incSum += incDur
+		stats := s.LastRunStats()
+		line := fmt.Sprintf("%-7d %-9d %-8d %-14s %-15v", tick, res.NumClusters, res.NumNoise(),
+			fmt.Sprintf("%d/%d", stats.DirtyCells, stats.NumCells),
+			incDur.Round(time.Microsecond))
+		if *compare {
+			rows := make([][]float64, 0, s.Len())
+			for _, id := range s.IDs() {
+				row, _ := s.Point(id)
+				rows = append(rows, row)
+			}
+			scratchCfg := cfg
+			scratchCfg.Eps = *eps
+			t0 = time.Now()
+			if _, err := pdbscan.Cluster(rows, scratchCfg); err != nil {
+				fmt.Fprintln(os.Stderr, "dbscanstream:", err)
+				os.Exit(1)
+			}
+			scrDur := time.Since(t0)
+			scrSum += scrDur
+			line += fmt.Sprintf(" %-12v %.2fx", scrDur.Round(time.Microsecond), scrDur.Seconds()/incDur.Seconds())
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("\nmean tick latency: %v", (incSum / time.Duration(maxTicks)).Round(time.Microsecond))
+	if *compare {
+		fmt.Printf(" (from-scratch %v, %.2fx speedup)",
+			(scrSum / time.Duration(maxTicks)).Round(time.Microsecond),
+			scrSum.Seconds()/incSum.Seconds())
+	}
+	fmt.Println()
+}
+
+func loadStream(input, name string, n int, seed int64) (geom.Points, error) {
+	if input != "" {
+		return dataset.LoadFile(input)
+	}
+	return dataset.Generate(name, n, seed)
+}

@@ -32,17 +32,49 @@
 package pdbscan
 
 import (
+	"fmt"
 	"math"
+
+	"pdbscan/internal/grid"
 )
 
-// firstNonFinite returns the index of the first NaN/Inf value in data, or -1.
-func firstNonFinite(data []float64) int {
+// checkCoords validates every coordinate of a point set against the cell
+// lattice for the given eps: finite, within the exact-arithmetic range of the
+// absolute lattice (|v|/side < grid.MaxExactCells — beyond it floor(v/side)
+// quantizes in steps of several cells and clustering would be silently
+// wrong), and with per-dimension spread under 2^31 cells (relative cell
+// coordinates are int32). One serial pass, shared by Clusterer and
+// StreamingClusterer construction/ingest.
+func checkCoords(data []float64, d int, eps float64) error {
+	side := eps / math.Sqrt(float64(d))
+	maxMag := grid.MaxExactCells * side
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := range lo {
+		lo[j] = math.Inf(1)
+		hi[j] = math.Inf(-1)
+	}
 	for i, v := range data {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return i
+			return fmt.Errorf("pdbscan: point %d has a non-finite coordinate (%v)", i/d, v)
+		}
+		if v >= maxMag || v <= -maxMag {
+			return fmt.Errorf("pdbscan: point %d coordinate %v exceeds the exact cell-lattice range (+-%.4g) for Eps=%v; recenter the data closer to the origin or increase Eps", i/d, v, maxMag, eps)
+		}
+		j := i % d
+		if v < lo[j] {
+			lo[j] = v
+		}
+		if v > hi[j] {
+			hi[j] = v
 		}
 	}
-	return -1
+	for j := 0; j < d; j++ {
+		if (hi[j]-lo[j])/side >= math.MaxInt32 {
+			return fmt.Errorf("pdbscan: point spread %v in dimension %d exceeds %d cells of side %v; increase Eps or partition the data", hi[j]-lo[j], j, math.MaxInt32, side)
+		}
+	}
+	return nil
 }
 
 // Method selects the algorithm variant. The names follow Section 7.1 of the

@@ -155,15 +155,43 @@ func TestConfigValidation(t *testing.T) {
 	cases := []struct {
 		name string
 		cfg  Config
+		ok   bool
 	}{
-		{"zero eps", Config{Eps: 0, MinPts: 5}},
-		{"negative eps", Config{Eps: -1, MinPts: 5}},
-		{"zero minpts", Config{Eps: 1, MinPts: 0}},
-		{"unknown method", Config{Eps: 1, MinPts: 5, Method: "bogus"}},
+		{"zero eps", Config{Eps: 0, MinPts: 5}, false},
+		{"negative eps", Config{Eps: -1, MinPts: 5}, false},
+		{"zero minpts", Config{Eps: 1, MinPts: 0}, false},
+		{"unknown method", Config{Eps: 1, MinPts: 5, Method: "bogus"}, false},
+		{"negative workers", Config{Eps: 1, MinPts: 5, Workers: -1}, false},
+		{"negative buckets", Config{Eps: 1, MinPts: 5, Buckets: -3, Bucketing: true}, false},
+		{"negative buckets without bucketing", Config{Eps: 1, MinPts: 5, Buckets: -1}, false},
+		{"valid default buckets", Config{Eps: 1, MinPts: 5, Bucketing: true}, true},
+		{"valid explicit buckets", Config{Eps: 1, MinPts: 5, Bucketing: true, Buckets: 1}, true},
+		{"valid zero workers", Config{Eps: 1, MinPts: 5, Workers: 0}, true},
 	}
 	for _, c := range cases {
-		if _, err := Cluster(rows, c.cfg); err == nil {
+		_, err := Cluster(rows, c.cfg)
+		if c.ok && err != nil {
+			t.Fatalf("%s: unexpected error: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
 			t.Fatalf("%s: expected error", c.name)
+		}
+		// The streaming Run path shares the validation.
+		s, serr := NewStreamingClusterer(2, 1)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if _, serr = s.Insert(rows); serr != nil {
+			t.Fatal(serr)
+		}
+		runCfg := c.cfg
+		runCfg.Eps = 0 // streaming pins eps at construction
+		_, err = s.Run(runCfg)
+		if c.ok && err != nil {
+			t.Fatalf("%s (streaming): unexpected error: %v", c.name, err)
+		}
+		if !c.ok && c.cfg.Eps > 0 && err == nil {
+			t.Fatalf("%s (streaming): expected error", c.name)
 		}
 	}
 	// 2D-only method on 3D data.

@@ -1,0 +1,85 @@
+// Streaming: incremental clustering of a live point stream. A
+// StreamingClusterer holds a mutable point set; Insert/Remove/Window mutate
+// it between Run calls, and each Run re-clusters touching only the cells
+// whose eps-neighborhood changed — with results exactly equal (up to label
+// permutation) to re-clustering the current points from scratch.
+//
+// The scenario here is a sliding window over moving emitters (think vehicle
+// traces or lidar returns): the window holds each emitter's recent trail,
+// and as the window slides the trails drift, merge, and split. The
+// interesting outputs per tick are the cluster count, how it changed, and
+// how little work the tick actually did (dirty vs total cells).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pdbscan"
+	"pdbscan/internal/dataset"
+)
+
+func main() {
+	const (
+		window = 30000
+		batch  = 300 // 1% churn per tick
+		ticks  = 20
+		eps    = 4.0
+		minPts = 10
+	)
+	// A time-ordered stream: consecutive points are spatially close (their
+	// emitter moved only a little between emissions). Any real feed with
+	// that property — GPS pings, sensor sweeps — slots in the same way.
+	stream := dataset.DriftStream(dataset.DriftStreamConfig{
+		N: window + ticks*batch, D: 2, Seed: 3,
+	})
+
+	s, err := pdbscan.NewStreamingClusterer(2, eps)
+	if err != nil {
+		panic(err)
+	}
+	cfg := pdbscan.Config{MinPts: minPts}
+
+	// Fill the initial window. The first Run computes everything; later
+	// Runs are incremental.
+	if _, err := s.InsertFlat(stream.Data[:window*2]); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	res, err := s.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("initial window: %d points -> %d clusters, %d noise (%v)\n\n",
+		s.Len(), res.NumClusters, res.NumNoise(), time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("tick  clusters  noise  dirty-cells  latency")
+	for tick := 0; tick < ticks; tick++ {
+		lo := (window + tick*batch) * 2
+		start := time.Now()
+		// One tick: ingest the new batch, evict beyond the window, recluster.
+		if _, err := s.InsertFlat(stream.Data[lo : lo+batch*2]); err != nil {
+			panic(err)
+		}
+		s.Window(window)
+		res, err = s.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		st := s.LastRunStats()
+		fmt.Printf("%-5d %-9d %-6d %4d/%-6d %v\n",
+			tick, res.NumClusters, res.NumNoise(),
+			st.DirtyCells, st.NumCells,
+			time.Since(start).Round(time.Microsecond))
+	}
+
+	// Point-level access: every live point keeps a stable id, and results
+	// are reported in insertion order with an id column alongside.
+	oldest := res.IDs[0]
+	if lbl, ok := res.LabelOf(oldest); ok {
+		fmt.Printf("\noldest live point (id %d) is in cluster %d\n", oldest, lbl)
+	}
+	fmt.Println("every tick's result is exactly what a from-scratch Cluster of the")
+	fmt.Println("current window would return (up to label permutation) — see the")
+	fmt.Println("oracle and metamorphic suites, which enforce this for every method")
+}

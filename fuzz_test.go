@@ -50,6 +50,110 @@ func FuzzClusterInvariants(f *testing.F) {
 	})
 }
 
+// FuzzStreamingOps feeds arbitrary bytes as an insert/remove/window op
+// sequence to a StreamingClusterer and checks after every tick that the
+// incremental result matches the brute-force oracle on the current point set
+// (exact methods rotate per tick; the op interleavings are the fuzz surface —
+// slot reuse, cell death/rebirth, empty windows).
+func FuzzStreamingOps(f *testing.F) {
+	f.Add([]byte{0, 17, 33, 0, 40, 41, 2, 0, 0, 50, 60, 3, 1}, uint8(8), uint8(2))
+	f.Add(bytes.Repeat([]byte{0, 1, 2}, 12), uint8(3), uint8(1))
+	f.Add([]byte{0, 10, 10, 0, 10, 11, 0, 11, 10, 2, 1, 3, 0, 0, 5, 5}, uint8(16), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, epsQ, minPtsQ uint8) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		eps := 0.5 + float64(epsQ%32)/8
+		minPts := 1 + int(minPtsQ)%5
+		s, err := NewStreamingClusterer(2, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		methods := []Method{MethodExact, MethodExactQt, Method2DGridUSEC, Method2DBoxBCP, Method2DGridDelaunay}
+		var ids []int64
+		tick := 0
+		pos := 0
+		next := func() (byte, bool) {
+			if pos >= len(raw) {
+				return 0, false
+			}
+			b := raw[pos]
+			pos++
+			return b, true
+		}
+		for {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			switch op % 4 {
+			case 0, 1: // insert one point
+				xb, ok1 := next()
+				yb, ok2 := next()
+				if !ok1 || !ok2 {
+					return
+				}
+				got, err := s.Insert([][]float64{{float64(xb) / 16, float64(yb) / 16}})
+				if err != nil {
+					t.Fatalf("insert: %v", err)
+				}
+				ids = append(ids, got[0])
+			case 2: // remove the k-th live point
+				kb, ok := next()
+				if !ok {
+					return
+				}
+				if len(ids) == 0 {
+					continue
+				}
+				k := int(kb) % len(ids)
+				if err := s.Remove(ids[k]); err != nil {
+					t.Fatalf("remove: %v", err)
+				}
+				ids = append(ids[:k], ids[k+1:]...)
+			case 3: // slide the window
+				nb, ok := next()
+				if !ok {
+					return
+				}
+				keep := int(nb) % (len(ids) + 1)
+				evicted := s.Window(keep)
+				if len(ids)-len(evicted) != keep && len(ids) > keep {
+					t.Fatalf("window(%d): evicted %d of %d", keep, len(evicted), len(ids))
+				}
+				if len(ids) > keep {
+					ids = ids[len(ids)-keep:]
+				}
+			}
+			m := methods[tick%len(methods)]
+			tick++
+			res, err := s.Run(Config{MinPts: minPts, Method: m})
+			if err != nil {
+				t.Fatalf("run %s: %v", m, err)
+			}
+			if len(ids) == 0 {
+				if res.NumClusters != 0 {
+					t.Fatalf("empty stream: %d clusters", res.NumClusters)
+				}
+				continue
+			}
+			rows := make([][]float64, 0, len(ids))
+			for _, id := range s.IDs() {
+				row, ok := s.Point(id)
+				if !ok {
+					t.Fatalf("live id %d missing", id)
+				}
+				rows = append(rows, row)
+			}
+			pts, _ := geom.FromRows(rows)
+			ref := metrics.BruteDBSCAN(pts, eps, minPts)
+			if err := metrics.SameDBSCANResult(ref, res.Core, res.Labels, res.Border, res.NumClusters); err != nil {
+				t.Fatalf("tick %d %s eps=%v minPts=%d n=%d: %v", tick, m, eps, minPts, len(rows), err)
+			}
+		}
+	})
+}
+
 // FuzzCSVReader checks that the CSV reader never panics and that whatever it
 // accepts round-trips through the writer.
 func FuzzCSVReader(f *testing.F) {

@@ -227,8 +227,11 @@ func TestOneBigCluster(t *testing.T) {
 	// degenerate regime: all points in one cell).
 	pts := clusteredPoints(500, 3, 10, 5)
 	cells := buildGridCells(pts, 1e6)
-	if cells.NumCells() != 1 {
-		t.Fatalf("cells = %d, want 1", cells.NumCells())
+	// Cells are anchored to the absolute side-grid lattice, so a tiny point
+	// set straddling a lattice boundary may occupy up to 2^d cells (here the
+	// Gaussian noise dips below 0); it can never occupy more.
+	if n := cells.NumCells(); n < 1 || n > 8 {
+		t.Fatalf("cells = %d, want 1..8", n)
 	}
 	res, err := Run(cells, Params{MinPts: 5, Graph: GraphBCP})
 	if err != nil {

@@ -15,45 +15,48 @@ func (st *pipeline) markCore() {
 	if st.p.Mark == MarkQuadtree {
 		st.allTrees = make([]lazyTree, numCells)
 	}
+	st.ex.ForGrain(numCells, 1, func(g int) { st.markCellCore(g) })
+}
+
+// markCellCore decides the core flag of every point in cell g (writing both
+// true and false, so the incremental pipeline can re-mark a dirty cell over
+// stale flags).
+func (st *pipeline) markCellCore(g int) {
+	c := st.cells
 	minPts := st.p.MinPts
 	eps := st.eps
 	eps2 := eps * eps
-
-	st.ex.ForGrain(numCells, 1, func(g int) {
-		size := c.CellSize(g)
-		pts := c.PointsOf(g)
-		if size >= minPts {
-			// Every pair inside a cell is within eps (cell diameter <= eps).
-			for _, p := range pts {
-				st.coreFlags[p] = true
-			}
-			return
-		}
-		// Small cell: each point runs RangeCount against the neighbors.
-		nbrs := c.Neighbors[g]
+	size := c.CellSize(g)
+	pts := c.PointsOf(g)
+	if size >= minPts {
+		// Every pair inside a cell is within eps (cell diameter <= eps).
 		for _, p := range pts {
-			count := size // the cell's own points are all within eps
-			q := st.at(p)
-			for _, h := range nbrs {
-				if count >= minPts {
-					break
-				}
-				// Skip neighbor cells entirely outside the eps-ball.
-				hLo, hHi := c.CellBox(int(h))
-				if geom.PointBoxDistSq(q, hLo, hHi) > eps2 {
-					continue
-				}
-				if st.p.Mark == MarkQuadtree {
-					count += st.allTree(h).CountWithin(q, eps)
-				} else {
-					count += st.rangeCountScan(q, int(h), eps2, minPts-count)
-				}
-			}
+			st.coreFlags[p] = true
+		}
+		return
+	}
+	// Small cell: each point runs RangeCount against the neighbors.
+	nbrs := c.Neighbors[g]
+	for _, p := range pts {
+		count := size // the cell's own points are all within eps
+		q := st.at(p)
+		for _, h := range nbrs {
 			if count >= minPts {
-				st.coreFlags[p] = true
+				break
+			}
+			// Skip neighbor cells entirely outside the eps-ball.
+			hLo, hHi := c.CellBox(int(h))
+			if geom.PointBoxDistSq(q, hLo, hHi) > eps2 {
+				continue
+			}
+			if st.p.Mark == MarkQuadtree {
+				count += st.allTree(h).CountWithin(q, eps)
+			} else {
+				count += st.rangeCountScan(q, int(h), eps2, minPts-count)
 			}
 		}
-	})
+		st.coreFlags[p] = count >= minPts
+	}
 }
 
 // rangeCountScan counts points of cell h within sqrt(eps2) of q by scanning,

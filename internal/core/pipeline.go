@@ -104,6 +104,11 @@ type pipeline struct {
 	allTrees  []lazyTree
 	coreTrees []lazyTree
 
+	// Pre-seeded trees from an Incremental cache (nil entries build lazily).
+	// Written before the run starts and read-only during it.
+	preAllTrees  []*quadtree.Tree
+	preCoreTrees []*quadtree.Tree
+
 	// Lazy per-cell USEC state (2D): core points sorted by x and by y, and
 	// the four directional envelopes.
 	usecCells []usecCell
@@ -114,23 +119,32 @@ type lazyTree struct {
 	tree *quadtree.Tree
 }
 
-// Run executes the full pipeline on prepared cells (Neighbors must have been
-// computed).
-func Run(cells *grid.Cells, p Params) (*Result, error) {
+// validateParams checks cells/Params compatibility and applies defaults
+// (shared by Run and RunIncremental).
+func validateParams(cells *grid.Cells, p *Params) error {
 	if cells.Neighbors == nil {
-		return nil, fmt.Errorf("core: cells have no neighbor lists; call a ComputeNeighbors method first")
+		return fmt.Errorf("core: cells have no neighbor lists; call a ComputeNeighbors method first")
 	}
 	if p.MinPts < 1 {
-		return nil, fmt.Errorf("core: MinPts must be >= 1, got %d", p.MinPts)
+		return fmt.Errorf("core: MinPts must be >= 1, got %d", p.MinPts)
 	}
 	if p.Graph == GraphApprox && p.Rho <= 0 {
-		return nil, fmt.Errorf("core: GraphApprox requires Rho > 0, got %v", p.Rho)
+		return fmt.Errorf("core: GraphApprox requires Rho > 0, got %v", p.Rho)
 	}
 	if (p.Graph == GraphUSEC || p.Graph == GraphDelaunay) && cells.Pts.D != 2 {
-		return nil, fmt.Errorf("core: USEC and Delaunay strategies are 2D only (d=%d)", cells.Pts.D)
+		return fmt.Errorf("core: USEC and Delaunay strategies are 2D only (d=%d)", cells.Pts.D)
 	}
 	if p.Buckets <= 0 {
 		p.Buckets = 32
+	}
+	return nil
+}
+
+// Run executes the full pipeline on prepared cells (Neighbors must have been
+// computed).
+func Run(cells *grid.Cells, p Params) (*Result, error) {
+	if err := validateParams(cells, &p); err != nil {
+		return nil, err
 	}
 	st := &pipeline{cells: cells, p: p, eps: cells.Eps, ex: p.Exec}
 	st.markCore()
@@ -155,40 +169,47 @@ func (st *pipeline) collectCore() {
 	st.corePts = make([][]int32, numCells)
 	st.coreBBLo = make([]float64, numCells*d)
 	st.coreBBHi = make([]float64, numCells*d)
-	st.ex.ForGrain(numCells, 1, func(g int) {
-		pts := c.PointsOf(g)
-		var core []int32
-		if c.CellSize(g) >= st.p.MinPts {
-			core = pts // every point is core; alias the cell's slice
-		} else {
-			for _, p := range pts {
-				if st.coreFlags[p] {
-					core = append(core, p)
-				}
-			}
-		}
-		st.corePts[g] = core
-		if len(core) > 0 {
-			lo := st.coreBBLo[g*d : (g+1)*d]
-			hi := st.coreBBHi[g*d : (g+1)*d]
-			copy(lo, c.Pts.At(int(core[0])))
-			copy(hi, c.Pts.At(int(core[0])))
-			for _, p := range core[1:] {
-				row := c.Pts.At(int(p))
-				for j, v := range row {
-					if v < lo[j] {
-						lo[j] = v
-					}
-					if v > hi[j] {
-						hi[j] = v
-					}
-				}
-			}
-		}
-	})
+	st.ex.ForGrain(numCells, 1, func(g int) { st.collectCellCore(g) })
 	st.coreCells = prim.FilterIndex(st.ex, numCells, func(g int) bool {
 		return len(st.corePts[g]) > 0
 	})
+}
+
+// collectCellCore derives cell g's core point list and core bounding box from
+// the core flags (the per-cell body shared by collectCore and the incremental
+// path — one implementation, so the two paths can never desynchronize).
+func (st *pipeline) collectCellCore(g int) {
+	c := st.cells
+	d := c.Pts.D
+	pts := c.PointsOf(g)
+	var core []int32
+	if c.CellSize(g) >= st.p.MinPts {
+		core = pts // every point is core; alias the cell's slice
+	} else {
+		for _, p := range pts {
+			if st.coreFlags[p] {
+				core = append(core, p)
+			}
+		}
+	}
+	st.corePts[g] = core
+	if len(core) > 0 {
+		lo := st.coreBBLo[g*d : (g+1)*d]
+		hi := st.coreBBHi[g*d : (g+1)*d]
+		copy(lo, c.Pts.At(int(core[0])))
+		copy(hi, c.Pts.At(int(core[0])))
+		for _, p := range core[1:] {
+			row := c.Pts.At(int(p))
+			for j, v := range row {
+				if v < lo[j] {
+					lo[j] = v
+				}
+				if v > hi[j] {
+					hi[j] = v
+				}
+			}
+		}
+	}
 }
 
 // coreLabels assigns dense cluster labels to core points from the union-find
@@ -241,6 +262,11 @@ func (st *pipeline) quadtreeRoot(g int) (lo []float64, side float64) {
 // allTree returns (building on first use) the quadtree over all points of
 // cell g, used by MarkQuadtree.
 func (st *pipeline) allTree(g int32) *quadtree.Tree {
+	if st.preAllTrees != nil {
+		if t := st.preAllTrees[g]; t != nil {
+			return t
+		}
+	}
 	lt := &st.allTrees[g]
 	lt.once.Do(func() {
 		pts := st.cells.PointsOf(int(g))
@@ -256,6 +282,11 @@ func (st *pipeline) allTree(g int32) *quadtree.Tree {
 // of cell g. maxDepth depends on the graph strategy: exact for GraphQuadtree,
 // capped for GraphApprox.
 func (st *pipeline) coreTree(g int32) *quadtree.Tree {
+	if st.preCoreTrees != nil {
+		if t := st.preCoreTrees[g]; t != nil {
+			return t
+		}
+	}
 	lt := &st.coreTrees[g]
 	lt.once.Do(func() {
 		src := st.corePts[g]

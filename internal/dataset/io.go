@@ -212,6 +212,11 @@ func Generate(name string, n int, seed int64) (geom.Points, error) {
 			return geom.Points{}, fmt.Errorf("dataset: bad name %q", name)
 		}
 		return UniformFill(n, d, seed), nil
+	case strings.HasPrefix(name, "drift-") && strings.HasSuffix(name, "d"):
+		if _, err := fmt.Sscanf(name, "drift-%dd", &d); err != nil {
+			return geom.Points{}, fmt.Errorf("dataset: bad name %q", name)
+		}
+		return DriftStream(DriftStreamConfig{N: n, D: d, Seed: seed}), nil
 	}
 	return geom.Points{}, fmt.Errorf("dataset: unknown dataset %q", name)
 }
@@ -225,6 +230,7 @@ func Names() []string {
 			fmt.Sprintf("ss-simden-%dd", d),
 			fmt.Sprintf("ss-varden-%dd", d),
 			fmt.Sprintf("uniform-%dd", d),
+			fmt.Sprintf("drift-%dd", d),
 		)
 	}
 	return append(out, "geolife", "cosmo", "osm", "teraclick", "household")

@@ -20,14 +20,25 @@ import (
 // most eps. Points are grouped by cell in Order; cell g owns
 // Order[CellStart[g]:CellStart[g+1]].
 type Cells struct {
-	Pts    geom.Points
-	Eps    float64
-	Side   float64   // cell side length, eps/sqrt(d) (grid); max strip width (box)
-	Origin []float64 // min corner of the point set (grid); unused for box
+	Pts  geom.Points
+	Eps  float64
+	Side float64 // cell side length, eps/sqrt(d) (grid); max strip width (box)
+
+	// Anchor is the absolute side-grid coordinate that relative coordinate 0
+	// maps to, per dimension (grid construction; nil for box). Grid cells are
+	// anchored to the absolute lattice {[k*Side, (k+1)*Side)}: a point with
+	// coordinate v lives at absolute cell coordinate floor(v/Side), and
+	// Anchor is the coordinate-wise minimum over the point set. Anchoring to
+	// the absolute lattice (rather than the data's min corner) makes the
+	// partition and the cube geometry canonical: two builds over overlapping
+	// point sets place shared points in the same absolute cells, which is
+	// what lets the streaming structure (Dynamic) reuse per-cell state across
+	// mutations and still match a from-scratch build exactly.
+	Anchor []int64
 
 	Order     []int32 // point indices grouped by cell
 	CellStart []int32 // len NumCells()+1, offsets into Order
-	CellOf    []int32 // cell index of each point
+	CellOf    []int32 // cell index of each point; -1 for points in no cell (Dynamic's freed slots)
 
 	// BBLo/BBHi are the actual bounding boxes of the points in each cell
 	// (C*d, row-major). Used for BCP filtering, USEC line selection, and
@@ -71,16 +82,20 @@ func (c *Cells) CellBox(g int) (lo, hi []float64) {
 
 // GridCube returns the geometric cube of grid cell g (grid construction
 // only). The quadtree of Section 5.2 is rooted at this cube so that the
-// approximate depth bound holds.
+// approximate depth bound holds. The corners are computed from the absolute
+// lattice coordinate so that every build places the cube at bit-identical
+// positions regardless of anchor.
 func (c *Cells) GridCube(g int) (lo, hi []float64) {
 	d := c.Pts.D
 	lo = make([]float64, d)
 	hi = make([]float64, d)
-	for j := 0; j < d; j++ {
-		lo[j] = c.Origin[j] + float64(c.Coords[g*d+j])*c.Side
-		hi[j] = lo[j] + c.Side
-	}
+	c.cubeInto(g, lo, hi)
 	return lo, hi
+}
+
+// AbsCoord returns the absolute lattice coordinate of cell g in dimension j.
+func (c *Cells) AbsCoord(g, j int) int64 {
+	return c.Anchor[j] + int64(c.Coords[g*c.Pts.D+j])
 }
 
 // coordHash mixes a cell's integer coordinates into a 64-bit hash. Distinct
@@ -112,17 +127,55 @@ func coordsLess(a, b []int32) bool {
 	return false
 }
 
+// maxAbsCoord bounds the absolute lattice coordinates so the float64 -> int64
+// conversion in CellCoord never leaves the representable range (degenerate
+// eps/coordinate combinations saturate instead of wrapping).
+const maxAbsCoord = int64(1) << 60
+
+// MaxExactCells is the largest |v|/side ratio for which floor(v/side) is an
+// exact integer in float64 (with margin for the division's rounding). The
+// public entry points reject coordinates beyond it: past 2^53 the lattice
+// coordinate quantizes in steps of several cells and the "cell diameter <=
+// eps" invariant would silently break.
+const MaxExactCells = float64(1 << 52)
+
+// CellCoord returns the absolute side-grid lattice coordinate of value v:
+// floor(v/side), saturated to +-maxAbsCoord. Every construction path (batch
+// BuildGrid and the streaming Dynamic) uses this one function, so a point is
+// assigned to the same absolute cell no matter which path placed it. Callers
+// validate |v|/side < MaxExactCells up front; the saturation is only a
+// backstop against degenerate inputs reaching the int64 conversion.
+func CellCoord(v, side float64) int64 {
+	f := math.Floor(v / side)
+	if f >= float64(maxAbsCoord) {
+		return maxAbsCoord
+	}
+	if f <= -float64(maxAbsCoord) {
+		return -maxAbsCoord
+	}
+	return int64(f)
+}
+
 // BuildGrid assigns the points to grid cells of side eps/sqrt(d)
 // (Section 4.1): compute each point's cell coordinates, semisort the points
 // by cell key, and insert the non-empty cells into a concurrent hash table.
 // Expected O(n) work. The executor ex sizes every parallel step (nil =
 // default pool).
+//
+// Preconditions (enforced with clear errors by the public pdbscan entry
+// points): coordinates are finite, |v|/side < MaxExactCells, and the
+// per-dimension spread is under 2^31 cells (relative coordinates are int32).
 func BuildGrid(ex *parallel.Pool, pts geom.Points, eps float64) *Cells {
 	n, d := pts.N, pts.D
 	side := eps / math.Sqrt(float64(d))
-	origin := parBoundsLo(ex, pts)
 
-	// Integer cell coordinates and their hashes, per point.
+	// Coordinate-wise minimum lattice coordinate — the anchor that relative
+	// int32 coordinates are stored against — via a blocked reduction
+	// (computing CellCoord twice per point beats materializing an n*d int64
+	// buffer the size of the input itself).
+	anchor := parCellMin(ex, pts, side)
+
+	// Relative integer cell coordinates and their hashes, per point.
 	coords := make([]int32, n*d)
 	hashes := make([]uint64, n)
 	order := make([]int32, n)
@@ -130,7 +183,7 @@ func BuildGrid(ex *parallel.Pool, pts geom.Points, eps float64) *Cells {
 		row := pts.At(i)
 		c := coords[i*d : (i+1)*d]
 		for j, v := range row {
-			c[j] = int32(math.Floor((v - origin[j]) / side))
+			c[j] = int32(CellCoord(v, side) - anchor[j])
 		}
 		hashes[i] = coordHash(c) & 0xffffffff
 		order[i] = int32(i)
@@ -157,7 +210,7 @@ func BuildGrid(ex *parallel.Pool, pts geom.Points, eps float64) *Cells {
 		Pts:       pts,
 		Eps:       eps,
 		Side:      side,
-		Origin:    origin,
+		Anchor:    anchor,
 		Order:     order,
 		CellStart: cellStart,
 		CellOf:    make([]int32, n),
@@ -219,19 +272,21 @@ func fixCoordRuns(ex *parallel.Pool, hashes []uint64, order []int32, coords []in
 	})
 }
 
-// parBoundsLo computes the coordinate-wise minimum of the points in parallel.
-func parBoundsLo(ex *parallel.Pool, pts geom.Points) []float64 {
+// parCellMin computes the coordinate-wise minimum lattice coordinate of the
+// points in parallel.
+func parCellMin(ex *parallel.Pool, pts geom.Points, side float64) []int64 {
 	d := pts.D
 	nb := ex.NumBlocks(pts.N, 0)
-	partial := make([][]float64, nb)
+	partial := make([][]int64, nb)
 	ex.BlockedForIdx(pts.N, 0, func(b, lo, hi int) {
-		m := make([]float64, d)
-		copy(m, pts.At(lo))
+		m := make([]int64, d)
+		for j, v := range pts.At(lo) {
+			m[j] = CellCoord(v, side)
+		}
 		for i := lo + 1; i < hi; i++ {
-			row := pts.At(i)
-			for j, v := range row {
-				if v < m[j] {
-					m[j] = v
+			for j, v := range pts.At(i) {
+				if a := CellCoord(v, side); a < m[j] {
+					m[j] = a
 				}
 			}
 		}
@@ -299,74 +354,133 @@ func (t *cellTable) lookup(co []int32) int32 {
 	}
 }
 
-// ComputeNeighborsEnum fills Neighbors by enumerating all integer coordinate
-// offsets within ceil(sqrt(d)) per axis and looking each one up in the cell
-// hash table — the constant-work-per-cell method the 2D algorithms use
-// (Section 4.1). Only valid for the grid construction.
-func (c *Cells) ComputeNeighborsEnum(ex *parallel.Pool) {
+// enumNeighborsOf returns the cells that could contain points within eps of
+// the grid cube at absolute lattice coordinates abs, by enumerating all
+// integer coordinate offsets within ceil(sqrt(d)) per axis and looking each
+// one up in the cell hash table. exclude (a cell index, or -1) is omitted
+// from the result. The cube at abs need not be an existing cell — the
+// streaming structure uses this to find the eps-neighborhood of a destroyed
+// cell.
+func (c *Cells) enumNeighborsOf(abs []int64, exclude int32) []int32 {
 	d := c.Pts.D
-	m := int(math.Ceil(math.Sqrt(float64(d))))
-	numCells := c.NumCells()
-	c.Neighbors = make([][]int32, numCells)
+	m := int64(math.Ceil(math.Sqrt(float64(d))))
 	eps2 := c.Eps * c.Eps * (1 + 1e-12)
 	// Loose pruning bound for the offset recursion; the final decision uses
-	// the exact cube-distance test shared with ComputeNeighborsKD so that
-	// both methods return identical neighbor sets.
+	// the exact cube-distance test shared with the k-d path so that both
+	// methods return identical neighbor sets.
 	pruneBound := eps2 * (1 + 1e-9)
-	ex.ForGrain(numCells, 1, func(g int) {
-		base := c.Coords[g*d : (g+1)*d]
-		var nbrs []int32
-		off := make([]int32, d)
-		probe := make([]int32, d)
-		gLo := make([]float64, d)
-		gHi := make([]float64, d)
-		hLo := make([]float64, d)
-		hHi := make([]float64, d)
-		c.cubeInto(g, gLo, gHi)
-		var rec func(j int, dist2 float64)
-		rec = func(j int, dist2 float64) {
-			if dist2 > pruneBound {
-				return
-			}
-			if j == d {
-				allZero := true
-				for _, o := range off {
-					if o != 0 {
-						allZero = false
-						break
-					}
-				}
-				if allZero {
-					return
-				}
-				for k := 0; k < d; k++ {
-					probe[k] = base[k] + off[k]
-				}
-				if h := c.table.lookup(probe); h >= 0 {
-					c.cubeInto(int(h), hLo, hHi)
-					if geom.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
-						nbrs = append(nbrs, h)
-					}
-				}
-				return
-			}
-			for o := -m; o <= m; o++ {
-				// Minimum axis gap between cells offset by o cells.
-				gap := 0.0
-				if o > 0 {
-					gap = float64(o-1) * c.Side
-				} else if o < 0 {
-					gap = float64(-o-1) * c.Side
-				}
-				off[j] = int32(o)
-				rec(j+1, dist2+gap*gap)
-			}
-			off[j] = 0
+	var nbrs []int32
+	probe := make([]int32, d)
+	buf := make([]float64, 4*d)
+	gLo, gHi, hLo, hHi := buf[:d], buf[d:2*d], buf[2*d:3*d], buf[3*d:]
+	absCubeInto(abs, c.Side, gLo, gHi)
+	var rec func(j int, dist2 float64)
+	rec = func(j int, dist2 float64) {
+		if dist2 > pruneBound {
+			return
 		}
-		rec(0, 0)
-		sortNeighbors(nbrs)
-		c.Neighbors[g] = nbrs
+		if j == d {
+			// Self-exclusion is exclude's job alone (exclude = the queried
+			// cell for alive cells, -1 for vacated coordinates — where a
+			// cell reborn at the same coordinates IS a valid answer, and
+			// the k-d path already returns it).
+			if h := c.table.lookup(probe); h >= 0 && h != exclude {
+				c.cubeInto(int(h), hLo, hHi)
+				if geom.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
+					nbrs = append(nbrs, h)
+				}
+			}
+			return
+		}
+		for o := -m; o <= m; o++ {
+			// Minimum axis gap between cells offset by o cells.
+			gap := 0.0
+			if o > 0 {
+				gap = float64(o-1) * c.Side
+			} else if o < 0 {
+				gap = float64(-o-1) * c.Side
+			}
+			// Probe coordinates are relative to the anchor; cells only exist
+			// at representable relative positions.
+			rel := abs[j] + o - c.Anchor[j]
+			if rel < math.MinInt32 || rel > math.MaxInt32 {
+				continue
+			}
+			probe[j] = int32(rel)
+			rec(j+1, dist2+gap*gap)
+		}
+	}
+	rec(0, 0)
+	sortNeighbors(nbrs)
+	return nbrs
+}
+
+// ComputeNeighborsEnum fills Neighbors by offset enumeration — the
+// constant-work-per-cell method the 2D algorithms use (Section 4.1). Only
+// valid for the grid construction.
+func (c *Cells) ComputeNeighborsEnum(ex *parallel.Pool) {
+	d := c.Pts.D
+	numCells := c.NumCells()
+	c.Neighbors = make([][]int32, numCells)
+	ex.ForGrain(numCells, 1, func(g int) {
+		abs := make([]int64, d)
+		for j := 0; j < d; j++ {
+			abs[j] = c.AbsCoord(g, j)
+		}
+		c.Neighbors[g] = c.enumNeighborsOf(abs, int32(g))
 	})
+}
+
+// cellCenterTree builds a k-d tree over the cube centers of all cells, for
+// neighbor queries in higher dimensions (Section 5.1).
+func (c *Cells) cellCenterTree(ex *parallel.Pool) (*kdtree.Tree, geom.Points) {
+	d := c.Pts.D
+	numCells := c.NumCells()
+	centers := geom.Points{N: numCells, D: d, Data: make([]float64, numCells*d)}
+	ex.For(numCells, func(g int) {
+		row := centers.Data[g*d : (g+1)*d]
+		for j := 0; j < d; j++ {
+			row[j] = (float64(c.AbsCoord(g, j)) + 0.5) * c.Side
+		}
+	})
+	return kdtree.Build(ex, centers), centers
+}
+
+// kdNeighborsOf is enumNeighborsOf answered with a k-d tree over cell cube
+// centers instead of offset enumeration (identical results). slotOf maps a
+// tree point index back to its cell slot (nil = identity, when the tree
+// spans every cell).
+func (c *Cells) kdNeighborsOf(tree *kdtree.Tree, slotOf []int32, abs []int64, exclude int32) []int32 {
+	d := c.Pts.D
+	// Two cells can contain points within eps iff their cubes are within
+	// eps; center distance is at most cube distance + side*sqrt(d).
+	radius := c.Eps + c.Side*math.Sqrt(float64(d)) + 1e-9
+	eps2 := c.Eps * c.Eps * (1 + 1e-12)
+	q := make([]float64, d)
+	gLo := make([]float64, d)
+	gHi := make([]float64, d)
+	hLo := make([]float64, d)
+	hHi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		q[j] = (float64(abs[j]) + 0.5) * c.Side
+	}
+	absCubeInto(abs, c.Side, gLo, gHi)
+	cand := tree.RangeQuery(q, radius, nil)
+	nbrs := cand[:0]
+	for _, h := range cand {
+		if slotOf != nil {
+			h = slotOf[h]
+		}
+		if h == exclude {
+			continue
+		}
+		c.cubeInto(int(h), hLo, hHi)
+		if geom.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
+			nbrs = append(nbrs, h)
+		}
+	}
+	sortNeighbors(nbrs)
+	return nbrs
 }
 
 // ComputeNeighborsKD fills Neighbors using a k-d tree over the cell cube
@@ -376,46 +490,34 @@ func (c *Cells) ComputeNeighborsEnum(ex *parallel.Pool) {
 func (c *Cells) ComputeNeighborsKD(ex *parallel.Pool) {
 	d := c.Pts.D
 	numCells := c.NumCells()
-	centers := geom.Points{N: numCells, D: d, Data: make([]float64, numCells*d)}
-	ex.For(numCells, func(g int) {
-		row := centers.Data[g*d : (g+1)*d]
-		for j := 0; j < d; j++ {
-			row[j] = c.Origin[j] + (float64(c.Coords[g*d+j])+0.5)*c.Side
-		}
-	})
-	tree := kdtree.Build(ex, centers)
-	// Two cells can contain points within eps iff their cubes are within
-	// eps; center distance is at most cube distance + side*sqrt(d).
-	radius := c.Eps + c.Side*math.Sqrt(float64(d)) + 1e-9
-	eps2 := c.Eps * c.Eps * (1 + 1e-12)
+	tree, _ := c.cellCenterTree(ex)
 	c.Neighbors = make([][]int32, numCells)
 	ex.ForGrain(numCells, 1, func(g int) {
-		cand := tree.RangeQuery(centers.At(g), radius, nil)
-		gLo := make([]float64, d)
-		gHi := make([]float64, d)
-		hLo := make([]float64, d)
-		hHi := make([]float64, d)
-		c.cubeInto(g, gLo, gHi)
-		nbrs := cand[:0]
-		for _, h := range cand {
-			if int(h) == g {
-				continue
-			}
-			c.cubeInto(int(h), hLo, hHi)
-			if geom.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
-				nbrs = append(nbrs, h)
-			}
+		abs := make([]int64, d)
+		for j := 0; j < d; j++ {
+			abs[j] = c.AbsCoord(g, j)
 		}
-		sortNeighbors(nbrs)
-		c.Neighbors[g] = nbrs
+		c.Neighbors[g] = c.kdNeighborsOf(tree, nil, abs, int32(g))
 	})
+}
+
+// absCubeInto writes the cube of the cell at absolute lattice coordinates
+// abs. Computed from the absolute coordinate so every build (and the
+// streaming structure, whatever its anchor) places cubes at bit-identical
+// positions.
+func absCubeInto(abs []int64, side float64, lo, hi []float64) {
+	for j, a := range abs {
+		lo[j] = float64(a) * side
+		hi[j] = float64(a+1) * side
+	}
 }
 
 func (c *Cells) cubeInto(g int, lo, hi []float64) {
 	d := c.Pts.D
 	for j := 0; j < d; j++ {
-		lo[j] = c.Origin[j] + float64(c.Coords[g*d+j])*c.Side
-		hi[j] = lo[j] + c.Side
+		a := c.Anchor[j] + int64(c.Coords[g*d+j])
+		lo[j] = float64(a) * c.Side
+		hi[j] = float64(a+1) * c.Side
 	}
 }
 

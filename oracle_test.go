@@ -1,0 +1,306 @@
+// oracle_test.go is the repo's ground-truth harness: every method is
+// cross-checked against the O(n²) brute-force reference DBSCAN
+// (internal/metrics.BruteDBSCAN — exact core/border/noise semantics,
+// including multi-membership border points) over a matrix of adversarial
+// layouts and dimensionalities, up to cluster label permutation. The exact
+// methods must reproduce the oracle exactly; the approximate methods must
+// satisfy the Gan–Tao validity conditions against the same oracle
+// definitions. The streaming clusterer is held to the same standard on
+// mutated point sets.
+package pdbscan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdbscan/internal/geom"
+	"pdbscan/internal/metrics"
+)
+
+// oracleLayout generates an adversarial point set for dimension d. eps and
+// the MinPts values to try ride along, chosen so the layout exercises the
+// regime it is named after.
+type oracleLayout struct {
+	name   string
+	eps    float64
+	minPts []int
+	gen    func(d int) [][]float64
+}
+
+func repeatRow(v float64, d int) []float64 {
+	row := make([]float64, d)
+	for j := range row {
+		row[j] = v
+	}
+	return row
+}
+
+var oracleLayouts = []oracleLayout{
+	{
+		// Duplicate points: several stacks of identical coordinates. Core
+		// counts must count multiplicity; a stack of minPts duplicates is
+		// core on its own.
+		name: "duplicates", eps: 1.0, minPts: []int{2, 4, 7},
+		gen: func(d int) [][]float64 {
+			var rows [][]float64
+			for s := 0; s < 5; s++ {
+				site := repeatRow(float64(s)*3, d)
+				for k := 0; k < 3+s; k++ {
+					rows = append(rows, site)
+				}
+			}
+			return rows
+		},
+	},
+	{
+		// Collinear points along the first axis at spacing eps/2: a chain
+		// where connectivity hops exactly along cell boundaries.
+		name: "collinear", eps: 1.0, minPts: []int{2, 3, 5},
+		gen: func(d int) [][]float64 {
+			var rows [][]float64
+			for i := 0; i < 30; i++ {
+				row := repeatRow(0, d)
+				row[0] = float64(i) * 0.5
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	},
+	{
+		// One cell: everything inside a single grid cell (diameter << eps),
+		// hitting the |cell| >= minPts all-core shortcut and its complement.
+		name: "one-cell", eps: 10.0, minPts: []int{3, 10, 40},
+		gen: func(d int) [][]float64 {
+			rng := rand.New(rand.NewSource(5))
+			rows := make([][]float64, 30)
+			for i := range rows {
+				row := make([]float64, d)
+				for j := range row {
+					row[j] = 100 + rng.Float64()*0.5
+				}
+				rows[i] = row
+			}
+			return rows
+		},
+	},
+	{
+		// All noise: points spread so far apart nothing is core (for
+		// minPts > 1); with minPts = 1 every point is its own cluster.
+		name: "all-noise", eps: 1.0, minPts: []int{1, 2, 5},
+		gen: func(d int) [][]float64 {
+			rows := make([][]float64, 25)
+			for i := range rows {
+				row := repeatRow(float64(i*i)*7, d)
+				row[d-1] = float64(i) * 50
+				rows[i] = row
+			}
+			return rows
+		},
+	},
+	{
+		// Eps-boundary pairs: points at axis-aligned distance exactly eps
+		// (d <= eps is inclusive — the pair must count), plus pairs just
+		// beyond (must not count). Integer coordinates keep the distances
+		// exact in float64.
+		name: "eps-boundary", eps: 4.0, minPts: []int{2, 3},
+		gen: func(d int) [][]float64 {
+			var rows [][]float64
+			for p := 0; p < 6; p++ {
+				a := repeatRow(0, d)
+				a[0] = float64(p) * 100
+				b := append([]float64(nil), a...)
+				b[1] = 4 // exactly eps away
+				c := append([]float64(nil), a...)
+				c[1] = -5 // just beyond eps
+				rows = append(rows, a, b, c)
+			}
+			return rows
+		},
+	},
+	{
+		// Lattice at exact eps spacing along each axis: every neighbor pair
+		// is a boundary case and borders abound.
+		name: "eps-lattice", eps: 2.0, minPts: []int{3, 5},
+		gen: func(d int) [][]float64 {
+			var rows [][]float64
+			per := 4
+			if d >= 5 {
+				per = 2
+			}
+			var rec func(row []float64, j int)
+			rec = func(row []float64, j int) {
+				if j == d {
+					rows = append(rows, append([]float64(nil), row...))
+					return
+				}
+				for k := 0; k < per; k++ {
+					row[j] = float64(k) * 2
+					rec(row, j+1)
+				}
+			}
+			rec(make([]float64, d), 0)
+			return rows
+		},
+	},
+	{
+		// Random blobs with noise: the general regime.
+		name: "blobs", eps: 1.5, minPts: []int{4, 8},
+		gen: func(d int) [][]float64 {
+			rng := rand.New(rand.NewSource(11))
+			rows := make([][]float64, 120)
+			for i := range rows {
+				row := make([]float64, d)
+				center := float64(rng.Intn(3)) * 6
+				for j := range row {
+					row[j] = center + rng.NormFloat64()
+				}
+				rows[i] = row
+			}
+			return rows
+		},
+	},
+	{
+		// Negative and lattice-straddling coordinates: exercises the
+		// absolute-grid anchoring around 0.
+		name: "straddle-origin", eps: 1.0, minPts: []int{2, 4},
+		gen: func(d int) [][]float64 {
+			rng := rand.New(rand.NewSource(17))
+			rows := make([][]float64, 80)
+			for i := range rows {
+				row := make([]float64, d)
+				for j := range row {
+					row[j] = (rng.Float64() - 0.5) * 4
+				}
+				rows[i] = row
+			}
+			return rows
+		},
+	},
+}
+
+// oracleCheck runs one method over one layout and compares against the
+// brute-force reference.
+func oracleCheck(t *testing.T, rows [][]float64, cfg Config, ctx string) {
+	t.Helper()
+	res, err := Cluster(rows, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	pts, err := geom.FromRows(rows)
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	if cfg.Method == MethodApprox || cfg.Method == MethodApproxQt {
+		rho := cfg.Rho
+		if rho == 0 {
+			rho = 0.01
+		}
+		if err := metrics.ValidApproxResult(pts, cfg.Eps, rho, cfg.MinPts,
+			res.Core, res.Labels, res.Border); err != nil {
+			t.Fatalf("%s: approx validity: %v", ctx, err)
+		}
+		return
+	}
+	ref := metrics.BruteDBSCAN(pts, cfg.Eps, cfg.MinPts)
+	if err := metrics.SameDBSCANResult(ref, res.Core, res.Labels, res.Border, res.NumClusters); err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+}
+
+// TestOracleConformance is the full matrix: every method × {2, 3, 5}
+// dimensions × every adversarial layout × the layout's MinPts values.
+func TestOracleConformance(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		d := d
+		t.Run(fmt.Sprintf("d=%d", d), func(t *testing.T) {
+			t.Parallel()
+			for _, layout := range oracleLayouts {
+				rows := layout.gen(d)
+				for _, m := range streamMethodsFor(d) {
+					for _, minPts := range layout.minPts {
+						cfg := Config{Eps: layout.eps, MinPts: minPts, Method: m}
+						oracleCheck(t, rows, cfg,
+							fmt.Sprintf("%s d=%d %s minPts=%d", layout.name, d, m, minPts))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOracleConformanceStreaming holds StreamingClusterer to the oracle
+// standard across mutations: build each layout incrementally, then remove a
+// third of it, checking against the brute-force reference at each stage.
+func TestOracleConformanceStreaming(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		d := d
+		t.Run(fmt.Sprintf("d=%d", d), func(t *testing.T) {
+			t.Parallel()
+			for _, layout := range oracleLayouts {
+				rows := layout.gen(d)
+				for _, m := range streamMethodsFor(d) {
+					minPts := layout.minPts[len(layout.minPts)-1]
+					ctx := fmt.Sprintf("streaming %s d=%d %s minPts=%d", layout.name, d, m, minPts)
+					s, err := NewStreamingClusterer(d, layout.eps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					half := len(rows) / 2
+					ids, err := s.Insert(rows[:half])
+					if err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					cfg := Config{MinPts: minPts, Method: m}
+					streamOracleCheck(t, s, cfg, ctx+" (half)")
+					if _, err := s.Insert(rows[half:]); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					streamOracleCheck(t, s, cfg, ctx+" (full)")
+					if err := s.Remove(ids[:len(ids)/2]...); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					streamOracleCheck(t, s, cfg, ctx+" (after removal)")
+				}
+			}
+		})
+	}
+}
+
+// streamOracleCheck compares a streaming run against the brute-force oracle
+// on the stream's current points (exact methods), or checks Gan–Tao validity
+// (approx methods).
+func streamOracleCheck(t *testing.T, s *StreamingClusterer, cfg Config, ctx string) {
+	t.Helper()
+	res, err := s.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	rows := make([][]float64, 0, s.Len())
+	for _, id := range s.IDs() {
+		row, _ := s.Point(id)
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return
+	}
+	pts, err := geom.FromRows(rows)
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	if cfg.Method == MethodApprox || cfg.Method == MethodApproxQt {
+		rho := cfg.Rho
+		if rho == 0 {
+			rho = 0.01
+		}
+		if err := metrics.ValidApproxResult(pts, s.Eps(), rho, cfg.MinPts,
+			res.Core, res.Labels, res.Border); err != nil {
+			t.Fatalf("%s: approx validity: %v", ctx, err)
+		}
+		return
+	}
+	ref := metrics.BruteDBSCAN(pts, s.Eps(), cfg.MinPts)
+	if err := metrics.SameDBSCANResult(ref, res.Core, res.Labels, res.Border, res.NumClusters); err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+}

@@ -195,6 +195,47 @@ func TestNonFiniteInputRejected(t *testing.T) {
 	}
 }
 
+// TestLatticeRangeRejected pins the numeric envelope of the absolute cell
+// lattice: coordinate magnitudes past the exact floor(v/side) range, and
+// spreads past int32 cell coordinates, are rejected with clear errors instead
+// of silently misclustering.
+func TestLatticeRangeRejected(t *testing.T) {
+	// |v|/side >= 2^52 (side = 1/sqrt(2) here).
+	rows := [][]float64{{0, 0}, {1e16, 1}}
+	if _, err := Cluster(rows, Config{Eps: 1, MinPts: 1}); err == nil {
+		t.Fatal("out-of-lattice-range magnitude accepted")
+	}
+	// Spread of 2^31 cells at modest magnitudes: 4e9 / (1/sqrt(2)) > 2^31.
+	rows = [][]float64{{-2e9, 0}, {2e9, 1}}
+	if _, err := Cluster(rows, Config{Eps: 1, MinPts: 1}); err == nil {
+		t.Fatal("over-wide spread accepted")
+	}
+	// Streaming rejects magnitude at Insert; spread is caught by Snapshot
+	// inside Run.
+	s, err := NewStreamingClusterer(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert([][]float64{{1e16, 1}}); err == nil {
+		t.Fatal("streaming accepted out-of-range magnitude")
+	}
+	if _, err := s.Insert([][]float64{{-2e9, 0}, {2e9, 1}}); err != nil {
+		t.Fatal(err) // magnitudes individually fine
+	}
+	if _, err := s.Run(Config{MinPts: 1}); err == nil {
+		t.Fatal("streaming Run accepted over-wide spread")
+	}
+	// Large-but-in-range coordinates still work.
+	rows = [][]float64{{1e9, 1e9}, {1e9 + 0.5, 1e9}, {1e9, 1e9 + 0.5}}
+	res, err := Cluster(rows, Config{Eps: 1, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d, want 1", res.NumClusters)
+	}
+}
+
 func TestCoreOnlyLabels(t *testing.T) {
 	rows := blobs(300, 2, 21)
 	res, err := Cluster(rows, Config{Eps: 3, MinPts: 8})
