@@ -32,6 +32,12 @@ type Clusterer struct {
 	grid lazyCells // grid layout (Section 4.1), any dimension
 	box  lazyCells // box layout (Section 4.2), 2D methods only
 
+	// parts caches the spatial partitions of the grid layout by shard
+	// count: like the cells they cut, they depend only on the points and
+	// eps, so a sweep of sharded Runs pays MakePartition's sorts once.
+	partMu sync.Mutex
+	parts  map[int]*grid.Partition
+
 	builds atomic.Int32 // number of cell-structure builds (for tests)
 }
 
@@ -85,14 +91,27 @@ func (c *Clusterer) NumPoints() int { return c.pts.N }
 // Dims returns the dimensionality of the points.
 func (c *Clusterer) Dims() int { return c.pts.D }
 
+// validateBudgetConfig checks the scheduling fields (Workers, Shards) that
+// both Prepare and the Run-shaped entry points must reject — one function so
+// the conditions and messages cannot diverge.
+func validateBudgetConfig(cfg *Config) error {
+	if cfg.Workers < 0 {
+		return fmt.Errorf("pdbscan: Workers must be >= 0, got %d (0 means all CPUs)", cfg.Workers)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("pdbscan: Shards must be >= 0, got %d (0 means auto, 1 forces the monolithic path)", cfg.Shards)
+	}
+	return nil
+}
+
 // validateRunConfig checks the Config fields every Run-shaped entry point
 // (Clusterer.Run, StreamingClusterer.Run) must reject up front.
 func validateRunConfig(cfg *Config) error {
 	if cfg.MinPts < 1 {
 		return fmt.Errorf("pdbscan: MinPts must be >= 1, got %d", cfg.MinPts)
 	}
-	if cfg.Workers < 0 {
-		return fmt.Errorf("pdbscan: Workers must be >= 0, got %d (0 means all CPUs)", cfg.Workers)
+	if err := validateBudgetConfig(cfg); err != nil {
+		return err
 	}
 	if cfg.Buckets < 0 {
 		return fmt.Errorf("pdbscan: Buckets must not be negative, got %d (0 selects the default of 32)", cfg.Buckets)
@@ -170,6 +189,26 @@ func (c *Clusterer) cellsFor(useBox bool, ex *parallel.Pool) *grid.Cells {
 	return c.grid.cells
 }
 
+// partitionFor returns the cached partition of the grid cells for the given
+// shard count, building it on first use. Partitions are immutable once
+// built; the lock only serializes construction.
+func (c *Clusterer) partitionFor(cells *grid.Cells, shards int, ex *parallel.Pool) (*grid.Partition, error) {
+	c.partMu.Lock()
+	defer c.partMu.Unlock()
+	if p, ok := c.parts[shards]; ok {
+		return p, nil
+	}
+	p, err := grid.MakePartition(ex, cells, shards)
+	if err != nil {
+		return nil, err
+	}
+	if c.parts == nil {
+		c.parts = make(map[int]*grid.Partition)
+	}
+	c.parts[shards] = p
+	return p, nil
+}
+
 // Prepare eagerly builds the cell structure cfg's Method needs (the grid
 // layout, or the 2D box layout for 2d-box-* methods) with cfg.Workers,
 // without clustering. The structure is otherwise built lazily by the first
@@ -181,13 +220,16 @@ func (c *Clusterer) Prepare(cfg Config) error {
 	if err := c.checkEps(cfg); err != nil {
 		return err
 	}
-	if cfg.Workers < 0 {
-		return fmt.Errorf("pdbscan: Workers must be >= 0, got %d (0 means all CPUs)", cfg.Workers)
+	if err := validateBudgetConfig(&cfg); err != nil {
+		return err
 	}
 	var params core.Params
 	useBox, err := resolveMethod(c.pts.D, &cfg, &params)
 	if err != nil {
 		return err
+	}
+	if resolveShards(&cfg, c.pts.N) > 1 {
+		useBox = false // a sharded Run will use the grid layout
 	}
 	c.cellsFor(useBox, parallel.NewPool(cfg.Workers))
 	return nil
@@ -228,9 +270,33 @@ func (c *Clusterer) Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(c.cellsFor(useBox, ex), params)
-	if err != nil {
-		return nil, err
+	var res *core.Result
+	if shards := resolveShards(&cfg, c.pts.N); shards > 1 {
+		// The sharded path cuts the anchored lattice, so it always runs on
+		// the grid layout — 2d-box-* methods keep their connectivity
+		// strategy but are served by grid cells (identical clustering; see
+		// Config.Shards).
+		cells := c.cellsFor(false, ex)
+		part, err := c.partitionFor(cells, shards, ex)
+		if err != nil {
+			return nil, err
+		}
+		if part.NumShards <= 1 {
+			// The occupied lattice offered nothing to cut (a single slab on
+			// every axis); the monolithic phases parallelize better than a
+			// one-shard run would.
+			res, err = core.Run(cells, params)
+		} else {
+			res, err = core.RunSharded(cells, params, part)
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res, err = core.Run(c.cellsFor(useBox, ex), params)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Result{
 		Labels:      res.Labels,

@@ -24,7 +24,7 @@ type options struct {
 	seed     int64
 	threads  int // 0 = all
 	full     bool
-	jsonPath string // stream experiment: write BENCH_stream.json here
+	jsonPath string // stream/shard experiments: write BENCH_*.json here
 }
 
 var experiments = map[string]struct {
@@ -42,6 +42,7 @@ var experiments = map[string]struct {
 	"ablation": {"design-choice ablations: neighbor finding, MarkCore strategy, bucketing batches", expAblation},
 	"verify":   {"cross-variant agreement at scale (all exact variants identical)", expVerify},
 	"stream":   {"sliding-window streaming ticks: incremental vs from-scratch (-json records BENCH_stream.json)", expStream},
+	"shard":    {"sharded partition/merge path vs monolithic (-json records BENCH_shard.json)", expShard},
 }
 
 func main() {
@@ -51,7 +52,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "dataset generation seed")
 	flag.IntVar(&o.threads, "threads", 0, "thread count for non-scaling experiments (0 = all)")
 	flag.BoolVar(&o.full, "full", false, "run all 11 datasets in fig6/7/8 instead of the default subset")
-	flag.StringVar(&o.jsonPath, "json", "", "stream experiment: write the machine-readable report to this file (e.g. BENCH_stream.json)")
+	flag.StringVar(&o.jsonPath, "json", "", "stream/shard experiments: write the machine-readable report to this file (e.g. BENCH_stream.json, BENCH_shard.json)")
 	flag.Parse()
 
 	if *exp == "" {

@@ -29,6 +29,12 @@
 // (internal/parallel.Pool), never by process-wide state, so any number of
 // Cluster and Clusterer.Run calls may run concurrently — each honors its own
 // Workers budget.
+//
+// At scale, runs execute through a sharded partition/merge architecture: the
+// cell lattice is cut into contiguous spatial shards clustered independently
+// and stitched by a boundary-merge pass. Config.Shards controls it (0 = auto
+// from the point count and worker budget); results are identical to the
+// monolithic path for every method.
 package pdbscan
 
 import (
@@ -36,6 +42,7 @@ import (
 	"math"
 
 	"pdbscan/internal/grid"
+	"pdbscan/internal/parallel"
 )
 
 // checkCoords validates every coordinate of a point set against the cell
@@ -139,6 +146,54 @@ type Config struct {
 	// Workers caps the number of OS-level workers used by parallel loops;
 	// 0 means all available CPUs.
 	Workers int
+	// Shards selects the sharded execution path: the anchored cell lattice
+	// is split into Shards contiguous spatial blocks with eps-wide halos,
+	// each block is clustered independently, and a boundary-merge pass
+	// stitches the blocks by evaluating only the cell-graph edges that cross
+	// a cut. Results are identical to the monolithic path (Shards = 1) for
+	// every method, exact and approximate, up to cluster label permutation —
+	// and bit-identical whenever the method runs on the grid layout.
+	//
+	// 0 means auto: batch runs (Cluster, Clusterer.Run) pick roughly one
+	// shard per 64k points, capped at 4x the worker budget and at 1 when
+	// Bucketing is set (sharding subsumes the bucketed traversal, so auto
+	// defers to the explicit scheduling request); StreamingClusterer.Run
+	// always resolves auto to 1, because a sharded run cannot reuse the
+	// incremental caches — set Shards explicitly to shard a streaming run,
+	// accepting a full recompute. 1 forces the monolithic path. The count is
+	// clamped to the occupied lattice (a shard cannot be thinner than one
+	// cell slab). Negative values are rejected.
+	//
+	// The 2d-box-* methods are served by the grid cell layout when
+	// Shards > 1 (the box strips have no lattice to cut); the connectivity
+	// strategy is preserved and the clustering is identical, as for every
+	// exact method.
+	Shards int
+}
+
+// autoShardPoints is the point count one auto-selected shard targets: small
+// enough that multi-million-point inputs decompose well past the worker
+// count, large enough that per-shard bookkeeping never dominates.
+const autoShardPoints = 1 << 16
+
+// resolveShards maps cfg.Shards to the effective shard count for a batch run
+// over n points: explicit counts pass through, 0 applies the auto heuristic
+// documented on Config.Shards.
+func resolveShards(cfg *Config, n int) int {
+	if cfg.Shards > 0 {
+		return cfg.Shards
+	}
+	if cfg.Bucketing {
+		return 1
+	}
+	s := n / autoShardPoints
+	if w := 4 * parallel.NewPool(cfg.Workers).Workers(); s > w {
+		s = w
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // Result is the clustering output.

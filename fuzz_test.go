@@ -154,6 +154,75 @@ func FuzzStreamingOps(f *testing.F) {
 	})
 }
 
+// FuzzShardedCluster feeds arbitrary bytes as 2D points plus a shard count
+// and differentially checks the sharded path against the monolithic one on
+// the identical input: label-permutation-equal results for a rotating method
+// (exact and approx), and oracle conformance for the exact ones. The fuzz
+// surface is the partition geometry — cut placement, halo width, boundary
+// dedup — under adversarial point layouts; the seeded corpus includes a
+// boundary-straddling chain at exact-eps spacing, the layout most likely to
+// shatter at a cut.
+func FuzzShardedCluster(f *testing.F) {
+	// A cluster chain along x at exact-eps spacing (eps = 0.1+16/8 = 2.1 at
+	// epsQ=16 ... the chain spacing 1.0 keeps pairs connected for most eps),
+	// plus scattered noise. Every cut through the chain splits a cluster.
+	chain := make([]byte, 0, 24*16)
+	for i := 0; i < 24; i++ {
+		var p [16]byte
+		binary.LittleEndian.PutUint64(p[:8], uint64(i*100))  // x = i * 1.0
+		binary.LittleEndian.PutUint64(p[8:], uint64(i%2*25)) // y jitter 0.25
+		chain = append(chain, p[:]...)
+	}
+	f.Add(chain, uint8(8), uint8(2), uint8(5))
+	f.Add(bytes.Repeat([]byte{7, 3}, 40), uint8(3), uint8(1), uint8(2))
+	f.Add([]byte{255, 255, 0, 0, 128, 64, 32, 16, 8, 4, 2, 1, 9, 9, 9, 9}, uint8(50), uint8(3), uint8(255))
+	f.Fuzz(func(t *testing.T, raw []byte, epsQ, minPtsQ, shardsQ uint8) {
+		if len(raw) < 16 {
+			return
+		}
+		if len(raw) > 64*16 {
+			raw = raw[:64*16]
+		}
+		n := len(raw) / 16
+		rows := make([][]float64, 0, n)
+		for i := 0; i < n; i++ {
+			x := binary.LittleEndian.Uint64(raw[i*16:])
+			y := binary.LittleEndian.Uint64(raw[i*16+8:])
+			rows = append(rows, []float64{
+				float64(x%10000) / 100,
+				float64(y%10000) / 100,
+			})
+		}
+		eps := 0.1 + float64(epsQ)/8
+		minPts := 1 + int(minPtsQ)%6
+		shards := 2 + int(shardsQ)%15
+		methods := []Method{MethodExact, MethodExactQt, Method2DGridUSEC, Method2DGridDelaunay, MethodApprox}
+		m := methods[(int(epsQ)+int(shardsQ))%len(methods)]
+		cfg := Config{Eps: eps, MinPts: minPts, Method: m}
+		mono, err := Cluster(rows, cfg)
+		if err != nil {
+			t.Fatalf("monolithic rejected valid input: %v", err)
+		}
+		shCfg := cfg
+		shCfg.Shards = shards
+		sh, err := Cluster(rows, shCfg)
+		if err != nil {
+			t.Fatalf("sharded rejected valid input: %v", err)
+		}
+		if err := equivalentResults(sh, mono); err != nil {
+			t.Fatalf("%s eps=%v minPts=%d shards=%d n=%d: sharded vs monolithic: %v",
+				m, eps, minPts, shards, n, err)
+		}
+		if m != MethodApprox {
+			pts, _ := geom.FromRows(rows)
+			ref := metrics.BruteDBSCAN(pts, eps, minPts)
+			if err := metrics.SameDBSCANResult(ref, sh.Core, sh.Labels, sh.Border, sh.NumClusters); err != nil {
+				t.Fatalf("%s eps=%v minPts=%d shards=%d n=%d: oracle: %v", m, eps, minPts, shards, n, err)
+			}
+		}
+	})
+}
+
 // FuzzCSVReader checks that the CSV reader never panics and that whatever it
 // accepts round-trips through the writer.
 func FuzzCSVReader(f *testing.F) {

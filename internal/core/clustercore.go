@@ -21,58 +21,21 @@ func (st *pipeline) clusterCore() {
 		return
 	}
 
-	var connect func(g, h int32) bool
-	switch st.p.Graph {
-	case GraphBCP:
-		connect = st.bcpConnected
-	case GraphQuadtree:
-		st.coreTrees = make([]lazyTree, st.cells.NumCells())
-		connect = st.quadtreeConnected
-	case GraphApprox:
-		st.coreTrees = make([]lazyTree, st.cells.NumCells())
-		connect = st.approxConnected
-	case GraphUSEC:
-		st.initUSEC()
-		connect = st.usecConnected
-	}
+	connect := st.connectFn()
 
 	// SortBySize (Algorithm 3, line 3): non-increasing core-point count, so
 	// large cells connect their surroundings early and prune later queries.
 	order := make([]int32, len(st.coreCells))
 	copy(order, st.coreCells)
-	prim.Sort(st.ex, order, func(a, b int32) bool {
-		ca, cb := len(st.corePts[a]), len(st.corePts[b])
-		if ca != cb {
-			return ca > cb
-		}
-		return a < b
-	})
+	prim.Sort(st.ex, order, st.coreSizeLess)
 
 	process := func(g int32) {
 		for _, h := range st.cells.Neighbors[g] {
-			if len(st.corePts[h]) == 0 {
-				continue // not a core cell
-			}
 			// Each unordered pair is examined by the higher-index cell.
 			if h >= g {
 				continue
 			}
-			// Core bounding boxes must be within eps for any core pair to
-			// qualify (the neighbor relation was computed from full cells).
-			d := st.cells.Pts.D
-			if geom.BoxBoxDistSq(
-				st.coreBBLo[int(g)*d:(int(g)+1)*d], st.coreBBHi[int(g)*d:(int(g)+1)*d],
-				st.coreBBLo[int(h)*d:(int(h)+1)*d], st.coreBBHi[int(h)*d:(int(h)+1)*d],
-			) > st.eps*st.eps {
-				continue
-			}
-			// Reduced connectivity queries: skip if already connected.
-			if st.uf.SameSet(g, h) {
-				continue
-			}
-			if connect(g, h) {
-				st.uf.Union(g, h)
-			}
+			st.processPair(g, h, connect)
 		}
 	}
 
@@ -95,6 +58,70 @@ func (st *pipeline) clusterCore() {
 		}
 	} else {
 		st.ex.ForGrain(len(order), 1, func(i int) { process(order[i]) })
+	}
+}
+
+// coreSizeLess is the SortBySize ordering of Algorithm 3: core-point count
+// descending, ties by cell index. One definition, shared by the monolithic
+// traversal and the per-shard sort, so the two paths cannot diverge.
+func (st *pipeline) coreSizeLess(a, b int32) bool {
+	ca, cb := len(st.corePts[a]), len(st.corePts[b])
+	if ca != cb {
+		return ca > cb
+	}
+	return a < b
+}
+
+// connectFn returns the cell-pair connectivity predicate of the configured
+// graph strategy, allocating whatever lazy per-cell state the strategy needs.
+// The predicate is a pure deterministic function of the cell pair (given the
+// core point sets), which is what lets the sharded and incremental paths
+// evaluate edges in any order — or skip already-connected ones — and still
+// land on the exact connected components of the full edge set. Not valid for
+// GraphDelaunay, whose connectivity is a whole-triangulation computation
+// rather than a per-pair predicate.
+func (st *pipeline) connectFn() func(g, h int32) bool {
+	switch st.p.Graph {
+	case GraphBCP:
+		return st.bcpConnected
+	case GraphQuadtree:
+		st.coreTrees = make([]lazyTree, st.cells.NumCells())
+		return st.quadtreeConnected
+	case GraphApprox:
+		st.coreTrees = make([]lazyTree, st.cells.NumCells())
+		return st.approxConnected
+	case GraphUSEC:
+		st.initUSEC()
+		return st.usecConnected
+	}
+	panic("core: no per-pair connectivity predicate for this graph strategy")
+}
+
+// processPair evaluates the cell-graph edge between core cell g and its
+// neighbor h (in either cell order): skip non-core cells, filter by the core
+// bounding boxes, prune pairs already connected in the union-find, and union
+// on a positive connectivity answer. Shared verbatim by the monolithic batch
+// traversal and the sharded intra-shard and boundary-merge passes, so every
+// path applies the identical edge function.
+func (st *pipeline) processPair(g, h int32, connect func(g, h int32) bool) {
+	if len(st.corePts[g]) == 0 || len(st.corePts[h]) == 0 {
+		return // not a core cell pair
+	}
+	// Core bounding boxes must be within eps for any core pair to qualify
+	// (the neighbor relation was computed from full cells).
+	d := st.cells.Pts.D
+	if geom.BoxBoxDistSq(
+		st.coreBBLo[int(g)*d:(int(g)+1)*d], st.coreBBHi[int(g)*d:(int(g)+1)*d],
+		st.coreBBLo[int(h)*d:(int(h)+1)*d], st.coreBBHi[int(h)*d:(int(h)+1)*d],
+	) > st.eps*st.eps {
+		return
+	}
+	// Reduced connectivity queries: skip if already connected.
+	if st.uf.SameSet(g, h) {
+		return
+	}
+	if connect(g, h) {
+		st.uf.Union(g, h)
 	}
 }
 
@@ -189,13 +216,27 @@ func (st *pipeline) approxConnected(g, h int32) bool {
 // (Section 4.4): triangulate all core points, keep inter-cell edges of
 // length at most eps (parallel filter), and union the endpoints' cells.
 func (st *pipeline) clusterCoreDelaunay() {
-	// Gather all core points.
+	st.delaunayUnion(st.coreCells)
+}
+
+// delaunayUnion triangulates the core points of the given cells and unions
+// the cells joined by an inter-cell edge of length at most eps. The cell list
+// is the whole core-cell set for the monolithic path and one shard's owned
+// core cells for the sharded path: the triangulation of any point subset
+// still contains its Euclidean MST, whose edges realize every eps-connection
+// within the subset, so per-shard triangulations plus exact cross-boundary
+// BCP edges reach exactly the exact-DBSCAN components.
+func (st *pipeline) delaunayUnion(cellList []int32) {
+	// Gather the core points of the listed cells.
 	total := 0
-	for _, g := range st.coreCells {
+	for _, g := range cellList {
 		total += len(st.corePts[g])
 	}
+	if total == 0 {
+		return
+	}
 	all := make([]int32, 0, total)
-	for _, g := range st.coreCells {
+	for _, g := range cellList {
 		all = append(all, st.corePts[g]...)
 	}
 	edges := delaunay.Triangulate(st.ex, st.cells.Pts, all)

@@ -61,6 +61,12 @@ func NewIncremental() *Incremental {
 	return &Incremental{coreDepth: -2}
 }
 
+// Fresh reports whether the cache has absorbed no run yet — the next
+// RunIncremental on it recomputes everything regardless of the DirtyInfo.
+// Callers use it to report full rebuilds (e.g. after a sharded run dropped
+// the caches) honestly in their stats.
+func (inc *Incremental) Fresh() bool { return !inc.valid }
+
 // edgeEntry records one evaluated cell-graph pair (h < g, stored under g).
 type edgeEntry struct {
 	h    int32

@@ -177,11 +177,62 @@ var oracleLayouts = []oracleLayout{
 			return rows
 		},
 	},
+	{
+		// Exact-eps chain along the first axis: consecutive points at
+		// distance exactly eps form one long cluster. The sharded path cuts
+		// the lattice along this axis (it has the most occupied slabs), so every
+		// shard cut splits an exact-eps pair — the boundary-merge pass must
+		// treat d == eps as connected or the chain shatters at the cuts.
+		// Integer coordinates keep the distances exact in float64.
+		name: "shard-chain", eps: 2.0, minPts: []int{2, 3},
+		gen: func(d int) [][]float64 {
+			var rows [][]float64
+			for i := 0; i < 40; i++ {
+				row := repeatRow(0, d)
+				row[0] = float64(i) * 2 // exactly eps apart
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	},
+	{
+		// Dense blobs strung along the split axis with single-point bridges
+		// between them: clusters wide enough to straddle any shard halo, so
+		// intra-shard clustering alone cannot close them — connectivity must
+		// flow through cross-boundary edges between blob fringes and bridge
+		// points, and border points near the cuts must resolve against core
+		// cells owned by other shards.
+		name: "halo-blobs", eps: 1.5, minPts: []int{4, 6},
+		gen: func(d int) [][]float64 {
+			rng := rand.New(rand.NewSource(23))
+			var rows [][]float64
+			for b := 0; b < 5; b++ {
+				cx := float64(b) * 6
+				for i := 0; i < 25; i++ {
+					row := make([]float64, d)
+					row[0] = cx + rng.NormFloat64()*0.8
+					for j := 1; j < d; j++ {
+						row[j] = rng.NormFloat64() * 0.8
+					}
+					rows = append(rows, row)
+				}
+				if b < 4 {
+					// Bridge midway to the next blob: within eps of both
+					// fringes for small d, a border/noise frontier for
+					// larger d.
+					bridge := repeatRow(0, d)
+					bridge[0] = cx + 3
+					rows = append(rows, bridge)
+				}
+			}
+			return rows
+		},
+	},
 }
 
-// oracleCheck runs one method over one layout and compares against the
-// brute-force reference.
-func oracleCheck(t *testing.T, rows [][]float64, cfg Config, ctx string) {
+// oracleCheck runs one method over one layout, compares against the
+// brute-force reference, and returns the result for cross-path comparisons.
+func oracleCheck(t *testing.T, rows [][]float64, cfg Config, ctx string) *Result {
 	t.Helper()
 	res, err := Cluster(rows, cfg)
 	if err != nil {
@@ -200,16 +251,26 @@ func oracleCheck(t *testing.T, rows [][]float64, cfg Config, ctx string) {
 			res.Core, res.Labels, res.Border); err != nil {
 			t.Fatalf("%s: approx validity: %v", ctx, err)
 		}
-		return
+		return res
 	}
 	ref := metrics.BruteDBSCAN(pts, cfg.Eps, cfg.MinPts)
 	if err := metrics.SameDBSCANResult(ref, res.Core, res.Labels, res.Border, res.NumClusters); err != nil {
 		t.Fatalf("%s: %v", ctx, err)
 	}
+	return res
 }
 
+// oracleShards is the shard-count axis of the conformance matrix: the
+// monolithic path, a single cut, and a count that fragments the small
+// layouts down to slab granularity.
+var oracleShards = [3]int{1, 2, 7}
+
 // TestOracleConformance is the full matrix: every method × {2, 3, 5}
-// dimensions × every adversarial layout × the layout's MinPts values.
+// dimensions × every adversarial layout × the layout's MinPts values ×
+// Shards ∈ {1, 2, 7}. Each sharded run is held to the oracle directly and
+// to label-permutation equality against the monolithic run of the same
+// configuration (the check that pins the approximate methods, where the
+// oracle alone admits a band of valid answers).
 func TestOracleConformance(t *testing.T) {
 	for _, d := range []int{2, 3, 5} {
 		d := d
@@ -219,9 +280,17 @@ func TestOracleConformance(t *testing.T) {
 				rows := layout.gen(d)
 				for _, m := range streamMethodsFor(d) {
 					for _, minPts := range layout.minPts {
-						cfg := Config{Eps: layout.eps, MinPts: minPts, Method: m}
-						oracleCheck(t, rows, cfg,
-							fmt.Sprintf("%s d=%d %s minPts=%d", layout.name, d, m, minPts))
+						cfg := Config{Eps: layout.eps, MinPts: minPts, Method: m, Shards: 1}
+						ctx := fmt.Sprintf("%s d=%d %s minPts=%d", layout.name, d, m, minPts)
+						mono := oracleCheck(t, rows, cfg, ctx)
+						for _, shards := range oracleShards[1:] {
+							cfgS := cfg
+							cfgS.Shards = shards
+							res := oracleCheck(t, rows, cfgS, fmt.Sprintf("%s shards=%d", ctx, shards))
+							if err := equivalentResults(res, mono); err != nil {
+								t.Fatalf("%s shards=%d vs monolithic: %v", ctx, shards, err)
+							}
+						}
 					}
 				}
 			}

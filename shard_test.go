@@ -1,0 +1,276 @@
+package pdbscan
+
+import (
+	"fmt"
+	"testing"
+
+	"pdbscan/internal/parallel"
+)
+
+// equivalentResults checks that two results are the same clustering up to a
+// bijective relabeling of clusters: identical core flags and noise, a
+// consistent label bijection over every point, and border membership sets
+// that match under that bijection. labelsEqual is the strict (identity
+// relabeling) form; this is the invariance the sharded path guarantees
+// against the monolithic one even when the two run on different cell layouts
+// (2d-box-* methods, whose sharded runs use the grid lattice).
+func equivalentResults(a, b *Result) error {
+	if len(a.Labels) != len(b.Labels) {
+		return fmt.Errorf("length %d vs %d", len(a.Labels), len(b.Labels))
+	}
+	if a.NumClusters != b.NumClusters {
+		return fmt.Errorf("NumClusters %d vs %d", a.NumClusters, b.NumClusters)
+	}
+	// The bijection is built from core points only: a core point belongs to
+	// exactly one cluster, and every cluster has core points, so the core
+	// rows determine the full correspondence. Border primary labels cannot
+	// seed it — a multi-membership border point takes the smallest label in
+	// each result's own numbering, which may name different clusters on the
+	// two sides.
+	ab := make([]int32, a.NumClusters) // a-label -> b-label
+	ba := make([]int32, b.NumClusters)
+	for i := range ab {
+		ab[i] = -1
+	}
+	for i := range ba {
+		ba[i] = -1
+	}
+	for i := range a.Labels {
+		if a.Core[i] != b.Core[i] {
+			return fmt.Errorf("core flag of point %d: %v vs %v", i, a.Core[i], b.Core[i])
+		}
+		if !a.Core[i] {
+			continue
+		}
+		la, lb := a.Labels[i], b.Labels[i]
+		if ab[la] == -1 && ba[lb] == -1 {
+			ab[la], ba[lb] = lb, la
+		} else if ab[la] != lb || ba[lb] != la {
+			return fmt.Errorf("core point %d breaks the label bijection: %d vs %d (mapped %d, %d)", i, la, lb, ab[la], ba[lb])
+		}
+	}
+	// Every point's full membership set must match under the bijection
+	// (border points may belong to several clusters; noise to none).
+	memberships := func(r *Result, i int) []int32 {
+		if m, ok := r.Border[int32(i)]; ok {
+			return m
+		}
+		if r.Labels[i] < 0 {
+			return nil
+		}
+		return []int32{r.Labels[i]}
+	}
+	for i := range a.Labels {
+		ma, mb := memberships(a, i), memberships(b, i)
+		if len(ma) != len(mb) {
+			return fmt.Errorf("point %d: memberships %v vs %v", i, ma, mb)
+		}
+		set := make(map[int32]bool, len(ma))
+		for _, l := range ma {
+			set[ab[l]] = true
+		}
+		for _, l := range mb {
+			if !set[l] {
+				return fmt.Errorf("point %d: memberships %v map to %v, missing %d", i, ma, set, l)
+			}
+		}
+	}
+	return nil
+}
+
+// TestShardedMatchesMonolithicAllMethods pins the tentpole equivalence on a
+// mid-size input: for every method and several shard counts, the sharded
+// path must reproduce the monolithic clustering — bit-identically for
+// grid-layout methods (sharding preserves even the label order there), and
+// up to label permutation for the 2d-box-* methods, which sharding serves
+// from the grid lattice.
+func TestShardedMatchesMonolithicAllMethods(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		rows := blobs(3000, d, 42)
+		for _, m := range streamMethodsFor(d) {
+			mono, err := Cluster(rows, Config{Eps: 2.5, MinPts: 6, Method: m, Shards: 1})
+			if err != nil {
+				t.Fatalf("%s monolithic: %v", m, err)
+			}
+			boxLayout := m == Method2DBoxBCP || m == Method2DBoxUSEC || m == Method2DBoxDelaunay
+			for _, k := range []int{2, 5, 16} {
+				sh, err := Cluster(rows, Config{Eps: 2.5, MinPts: 6, Method: m, Shards: k})
+				if err != nil {
+					t.Fatalf("%s shards=%d: %v", m, k, err)
+				}
+				if err := equivalentResults(sh, mono); err != nil {
+					t.Fatalf("d=%d %s shards=%d: %v", d, m, k, err)
+				}
+				if !boxLayout {
+					if err := labelsEqual(sh, mono); err != nil {
+						t.Fatalf("d=%d %s shards=%d: sharded labels should be bit-identical on the grid layout: %v", d, m, k, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBucketingInteraction: explicit Shards wins over Bucketing (same
+// results either way), while auto shards defer to an explicit Bucketing
+// request and stay monolithic.
+func TestShardedBucketingInteraction(t *testing.T) {
+	rows := blobs(2000, 2, 31)
+	cfg := Config{Eps: 2.5, MinPts: 5, Bucketing: true, Buckets: 4}
+	mono, err := Cluster(rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 3
+	sh, err := Cluster(rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := labelsEqual(sh, mono); err != nil {
+		t.Fatalf("bucketing + shards: %v", err)
+	}
+	// The auto heuristic must resolve to 1 when Bucketing is set, and to >1
+	// for a large non-bucketed input.
+	if got := resolveShards(&Config{Bucketing: true}, 1<<20); got != 1 {
+		t.Fatalf("auto shards with Bucketing = %d, want 1", got)
+	}
+	if got := resolveShards(&Config{}, 1<<20); got < 2 {
+		t.Fatalf("auto shards at 1M points = %d, want > 1", got)
+	}
+	if got := resolveShards(&Config{}, 1000); got != 1 {
+		t.Fatalf("auto shards at 1k points = %d, want 1", got)
+	}
+	// Auto is capped by the worker budget; explicit counts pass through.
+	w := parallel.NewPool(2).Workers()
+	if got := resolveShards(&Config{Workers: 2}, 1<<30); got != 4*w {
+		t.Fatalf("auto shards cap = %d, want %d", got, 4*w)
+	}
+	if got := resolveShards(&Config{Shards: 7}, 10); got != 7 {
+		t.Fatalf("explicit shards = %d, want 7", got)
+	}
+	// Prepare shares the Shards validation and the layout decision.
+	c, err := NewClusterer(rows, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepare(Config{Shards: -2}); err == nil {
+		t.Fatal("Prepare accepted negative Shards")
+	}
+	if err := c.Prepare(Config{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedStreamingRun checks the streaming surface: an explicitly
+// sharded Run matches the incremental result on the same window, and the
+// incremental path keeps working (correctly, from a Full rebuild) after a
+// sharded run dropped the caches.
+func TestShardedStreamingRun(t *testing.T) {
+	rows := blobs(1200, 2, 17)
+	s, err := NewStreamingClusterer(2, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(rows[:800]); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MinPts: 6}
+	inc1, err := s.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shCfg := cfg
+	shCfg.Shards = 4
+	sh, err := s.Run(shCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := labelsEqual(&sh.Result, &inc1.Result); err != nil {
+		t.Fatalf("sharded streaming run differs from incremental: %v", err)
+	}
+	if st := s.LastRunStats(); !st.Full || st.DirtyCells != st.NumCells {
+		t.Fatalf("sharded run stats = %+v, want Full with every cell dirty", st)
+	}
+	// Mutate, then run incrementally again: the dropped caches must force a
+	// Full rebuild that still matches a from-scratch Cluster.
+	if _, err := s.Insert(rows[800:]); err != nil {
+		t.Fatal(err)
+	}
+	inc2, err := s.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.LastRunStats(); !st.Full {
+		t.Fatalf("run after a sharded run reused dropped caches: %+v", st)
+	}
+	want, err := Cluster(rows, Config{Eps: 2.5, MinPts: 6, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equivalentResults(&inc2.Result, want); err != nil {
+		t.Fatalf("incremental run after sharded run: %v", err)
+	}
+	// Auto (Shards = 0) must stay incremental: no mutations, so the next
+	// run reuses everything.
+	if _, err := s.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.LastRunStats(); st.Full || st.DirtyCells != 0 {
+		t.Fatalf("auto streaming run was not incremental: %+v", st)
+	}
+}
+
+// TestShardedEmptyStream: a sharded Run on an empty stream returns an empty
+// result rather than erroring (parity with the incremental path).
+func TestShardedEmptyStream(t *testing.T) {
+	s, err := NewStreamingClusterer(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(Config{MinPts: 2, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Fatalf("empty sharded stream: %d clusters, %d labels", res.NumClusters, len(res.Labels))
+	}
+	// And after points exist, sharded runs still work on the same instance.
+	if _, err := s.Insert(blobs(300, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(Config{MinPts: 2, Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedMoreShardsThanCells: shard counts far beyond the occupied
+// lattice are clamped, not errors — a one-cell input runs with any Shards.
+func TestShardedMoreShardsThanCells(t *testing.T) {
+	rows := [][]float64{{0, 0}, {0.1, 0.1}, {0.2, 0}, {0.1, 0}}
+	mono, err := Cluster(rows, Config{Eps: 10, MinPts: 2, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Cluster(rows, Config{Eps: 10, MinPts: 2, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := labelsEqual(sh, mono); err != nil {
+		t.Fatal(err)
+	}
+	// Streaming takes the same monolithic fallback on an uncuttable lattice.
+	s, err := NewStreamingClusterer(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(Config{MinPts: 2, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := labelsEqual(&res.Result, mono); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -39,6 +39,12 @@ import (
 // the grid cell layout (identical clustering — all exact methods agree), and
 // Config.Bucketing is ignored (it schedules a pruned batch traversal the
 // incremental edge evaluation replaces).
+//
+// Config.Shards > 1 routes a Run through the sharded partition/merge path
+// instead of the incremental one: the full window is re-clustered (same
+// results, as everywhere) and the incremental caches are dropped, so the
+// next incremental Run starts from scratch. Shards = 0 (auto) always stays
+// incremental — per-tick reuse is this type's reason to exist.
 type StreamingClusterer struct {
 	mu   sync.Mutex
 	dims int
@@ -62,10 +68,11 @@ type StreamStats struct {
 	NumCells  int
 	// DirtyCells is the size of the affected set: cells whose core flags and
 	// incident cell-graph edges were recomputed. 0 for a mutation-free,
-	// config-stable rerun.
+	// config-stable rerun; equal to NumCells on a Full run.
 	DirtyCells int
-	// Full marks a run that could reuse nothing (the first, or one with a
-	// changed MinPts / connectivity kind).
+	// Full marks a run that reused nothing: the first, one right after a
+	// sharded or failed run dropped the caches, or any run through the
+	// sharded path itself.
 	Full bool
 }
 
@@ -285,18 +292,50 @@ func (s *StreamingClusterer) Run(cfg Config) (*StreamResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Run the incremental pipeline even when the stream is empty: every
-	// snapshot's DirtyInfo must reach the caches exactly once, and an empty
-	// tick is how dying cells' cached core lists get retired (skipping it
-	// would leak them into the next non-empty tick as phantom clusters —
-	// pinned by the FuzzStreamingOps corpus).
-	res, err := core.RunIncremental(cells, params, s.inc, dirty)
-	if err != nil {
-		// The snapshot's dirty info is spent but the caches never absorbed
-		// it; drop them so the next Run recomputes from clean state instead
-		// of silently reusing stale entries.
+	var res *core.Result
+	// A fresh cache (first run, or one dropped by a sharded or failed run)
+	// makes the run full no matter what the snapshot's dirty info says.
+	dirtyCells, full := dirty.NumAffected, dirty.Full || s.inc.Fresh()
+	if full {
+		dirtyCells = -1 // patched to the live cell count below
+	}
+	if cfg.Shards > 1 {
+		// An explicitly sharded run recomputes everything through the
+		// partition/merge path and bypasses the incremental caches. The
+		// snapshot's dirty info is consumed here without reaching them, so
+		// they are dropped either way — the next incremental Run rebuilds
+		// from clean state. (Shards = 0 deliberately stays incremental; see
+		// Config.Shards.)
 		s.inc = core.NewIncremental()
-		return nil, err
+		part, perr := grid.MakePartition(ex, cells, cfg.Shards)
+		if perr != nil {
+			return nil, perr
+		}
+		if part.NumShards <= 1 {
+			// Uncuttable lattice: the monolithic phases parallelize better
+			// than a one-shard run would (same fallback as Clusterer.Run).
+			res, err = core.Run(cells, params)
+		} else {
+			res, err = core.RunSharded(cells, params, part)
+		}
+		if err != nil {
+			return nil, err
+		}
+		dirtyCells, full = -1, true // -1: patched to the live cell count below
+	} else {
+		// Run the incremental pipeline even when the stream is empty: every
+		// snapshot's DirtyInfo must reach the caches exactly once, and an
+		// empty tick is how dying cells' cached core lists get retired
+		// (skipping it would leak them into the next non-empty tick as
+		// phantom clusters — pinned by the FuzzStreamingOps corpus).
+		res, err = core.RunIncremental(cells, params, s.inc, dirty)
+		if err != nil {
+			// The snapshot's dirty info is spent but the caches never
+			// absorbed it; drop them so the next Run recomputes from clean
+			// state instead of silently reusing stale entries.
+			s.inc = core.NewIncremental()
+			return nil, err
+		}
 	}
 	numCells := 0
 	for g := 0; g < cells.NumCells(); g++ {
@@ -304,11 +343,14 @@ func (s *StreamingClusterer) Run(cfg Config) (*StreamResult, error) {
 			numCells++
 		}
 	}
+	if dirtyCells < 0 {
+		dirtyCells = numCells // sharded runs recompute every live cell
+	}
 	s.lastStats = StreamStats{
 		NumPoints:  len(s.ids),
 		NumCells:   numCells,
-		DirtyCells: dirty.NumAffected,
-		Full:       dirty.Full,
+		DirtyCells: dirtyCells,
+		Full:       full,
 	}
 
 	// Re-index from point slots to insertion order.
