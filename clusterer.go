@@ -38,6 +38,12 @@ type Clusterer struct {
 	partMu sync.Mutex
 	parts  map[int]*grid.Partition
 
+	// arena pools the pipeline's per-run and per-worker scratch buffers, so
+	// repeated Run calls are near-allocation-free in steady state. Checkout
+	// is per run (concurrent Runs each pop their own scratch), so sharing
+	// the arena across overlapping Runs is safe.
+	arena *core.Arena
+
 	builds atomic.Int32 // number of cell-structure builds (for tests)
 }
 
@@ -79,7 +85,7 @@ func newClusterer(pts geom.Points, eps float64) (*Clusterer, error) {
 	if err := checkCoords(pts.Data, pts.D, eps); err != nil {
 		return nil, err
 	}
-	return &Clusterer{pts: pts, eps: eps}, nil
+	return &Clusterer{pts: pts, eps: eps, arena: core.NewArena()}, nil
 }
 
 // Eps returns the radius this Clusterer was built for.
@@ -265,6 +271,7 @@ func (c *Clusterer) Run(cfg Config) (*Result, error) {
 		Bucketing: cfg.Bucketing,
 		Buckets:   cfg.Buckets,
 		Exec:      ex,
+		Arena:     c.arena,
 	}
 	useBox, err := resolveMethod(c.pts.D, &cfg, &params)
 	if err != nil {

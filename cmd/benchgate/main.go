@@ -1,0 +1,103 @@
+// Command benchgate checks a freshly generated BENCH_hot.json against the
+// committed baseline and the hot-path acceptance floors, emitting GitHub
+// Actions annotations (::warning / ::error lines) when the benchmarks
+// regress. It compares only host-relative ratio metrics — the headline
+// speedup and allocation ratio — never absolute ns/op, which is not
+// comparable across runner hardware.
+//
+// Usage:
+//
+//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-strict]
+//
+// A metric regresses when it drops more than 10% below the committed
+// baseline, or below the absolute floor the optimization was accepted at
+// (1.3x clustering-phase speedup, 5x allocation reduction). Warnings
+// annotate the PR; -strict turns them into errors and a non-zero exit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// hotHeadline is the subset of the BENCH_hot.json schema the gate reads.
+type hotHeadline struct {
+	Threads               int     `json:"threads"`
+	Headline2DGridSpeedup float64 `json:"headline_2d_grid_speedup"`
+	HeadlineAllocRatio    float64 `json:"headline_alloc_ratio"`
+}
+
+// Acceptance floors of the hot-path optimization, with the 10% regression
+// grace applied by the caller.
+const (
+	floorSpeedup    = 1.3
+	floorAllocRatio = 5.0
+	grace           = 0.9 // >10% below a reference counts as a regression
+)
+
+func main() {
+	freshPath := flag.String("fresh", "BENCH_hot.json", "freshly generated report to check")
+	basePath := flag.String("baseline", "", "committed baseline report to compare against (optional)")
+	strict := flag.Bool("strict", false, "exit non-zero (and annotate as errors) on regression")
+	flag.Parse()
+
+	fresh, err := readHeadline(*freshPath)
+	if err != nil {
+		fmt.Printf("::error ::benchgate: %v\n", err)
+		os.Exit(1)
+	}
+
+	regressed := false
+	check := func(metric string, got, ref float64, refName string) {
+		if got >= ref*grace {
+			return
+		}
+		regressed = true
+		level := "warning"
+		if *strict {
+			level = "error"
+		}
+		fmt.Printf("::%s ::hot benchmark regression: %s = %.2f, more than 10%% below the %s of %.2f\n",
+			level, metric, got, refName, ref)
+	}
+
+	check("headline_2d_grid_speedup", fresh.Headline2DGridSpeedup, floorSpeedup, "acceptance floor")
+	check("headline_alloc_ratio", fresh.HeadlineAllocRatio, floorAllocRatio, "acceptance floor")
+
+	if *basePath != "" {
+		base, err := readHeadline(*basePath)
+		if err != nil {
+			// A missing or unreadable baseline is not a regression — the
+			// first run that generates one has nothing to compare against.
+			fmt.Printf("::notice ::benchgate: no usable baseline (%v); checked acceptance floors only\n", err)
+		} else {
+			check("headline_2d_grid_speedup", fresh.Headline2DGridSpeedup, base.Headline2DGridSpeedup, "committed baseline")
+			check("headline_alloc_ratio", fresh.HeadlineAllocRatio, base.HeadlineAllocRatio, "committed baseline")
+		}
+	}
+
+	if !regressed {
+		fmt.Printf("benchgate: ok (speedup %.2fx >= %.2f, alloc ratio %.1fx >= %.1f)\n",
+			fresh.Headline2DGridSpeedup, floorSpeedup*grace, fresh.HeadlineAllocRatio, floorAllocRatio*grace)
+	}
+	if regressed && *strict {
+		os.Exit(1)
+	}
+}
+
+func readHeadline(path string) (*hotHeadline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var h hotHeadline
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if h.Headline2DGridSpeedup == 0 || h.HeadlineAllocRatio == 0 {
+		return nil, fmt.Errorf("%s: missing headline metrics", path)
+	}
+	return &h, nil
+}

@@ -43,6 +43,7 @@ var experiments = map[string]struct {
 	"verify":   {"cross-variant agreement at scale (all exact variants identical)", expVerify},
 	"stream":   {"sliding-window streaming ticks: incremental vs from-scratch (-json records BENCH_stream.json)", expStream},
 	"shard":    {"sharded partition/merge path vs monolithic (-json records BENCH_shard.json)", expShard},
+	"hot":      {"clustering-phase hot path: specialized kernels + arena vs generic fallback (-json records BENCH_hot.json)", expHot},
 }
 
 func main() {

@@ -123,29 +123,21 @@ func HPDBSCAN(ex *parallel.Pool, pts geom.Points, eps float64, minPts int) *Resu
 	}
 	n := pts.N
 	eps2 := eps * eps
+	k := geom.NewKernel(pts)
 	core := make([]bool, n)
-	// Pointwise core test by scanning own + neighbor cells.
+	// Pointwise core test by scanning own + neighbor cells through the
+	// dimension-specialized kernel, nearest-counted first via the cell's own
+	// points then neighbors, with early termination at minPts.
 	ex.ForGrain(n, 16, func(i int) {
-		q := pts.At(i)
 		g := cells.CellOf[i]
-		count := 0
-		countCell := func(h int32) bool {
-			for _, p := range cells.PointsOf(int(h)) {
-				if geom.DistSq(q, pts.At(int(p))) <= eps2 {
-					count++
-					if count >= minPts {
-						return true
-					}
-				}
-			}
-			return false
-		}
-		if countCell(g) {
+		count := k.CountWithin(int32(i), cells.PointsOf(int(g)), eps2, minPts)
+		if count >= minPts {
 			core[i] = true
 			return
 		}
 		for _, h := range cells.Neighbors[g] {
-			if countCell(h) {
+			count += k.CountWithin(int32(i), cells.PointsOf(int(h)), eps2, minPts-count)
+			if count >= minPts {
 				core[i] = true
 				return
 			}
@@ -156,11 +148,10 @@ func HPDBSCAN(ex *parallel.Pool, pts geom.Points, eps float64, minPts int) *Resu
 		if !core[i] {
 			return
 		}
-		q := pts.At(i)
 		g := cells.CellOf[i]
 		unionCell := func(h int32) {
 			for _, p := range cells.PointsOf(int(h)) {
-				if core[p] && geom.DistSq(q, pts.At(int(p))) <= eps2 {
+				if core[p] && k.DistSq(int32(i), p) <= eps2 {
 					uf.Union(int32(i), p)
 				}
 			}
@@ -171,12 +162,11 @@ func HPDBSCAN(ex *parallel.Pool, pts geom.Points, eps float64, minPts int) *Resu
 		}
 	})
 	query := func(i int) []int32 {
-		q := pts.At(i)
 		g := cells.CellOf[i]
 		var out []int32
 		collect := func(h int32) {
 			for _, p := range cells.PointsOf(int(h)) {
-				if geom.DistSq(q, pts.At(int(p))) <= eps2 {
+				if k.DistSq(int32(i), p) <= eps2 {
 					out = append(out, p)
 				}
 			}

@@ -1,8 +1,6 @@
 package core
 
-import (
-	"pdbscan/internal/geom"
-)
+import "sync"
 
 // clusterBorder implements Algorithm 4: every non-core point checks the core
 // points of its own cell and of all neighboring cells; it joins the cluster
@@ -11,69 +9,76 @@ import (
 // with more than one) are returned as a map.
 //
 // Only cells with fewer than minPts points can contain non-core points, so
-// the loop mirrors the paper's `|g| < minPts` guard.
+// the loop mirrors the paper's `|g| < minPts` guard. The per-point label set
+// lives in the worker's pooled scratch; only the rare membership lists of
+// multi-cluster border points are freshly allocated (they escape into the
+// Result) and are merged into the map per block under a mutex.
 func (st *pipeline) clusterBorder(labels []int32, numClusters int) map[int32][]int32 {
 	c := st.cells
-	eps2 := st.eps * st.eps
 	numCells := c.NumCells()
 
-	// memberships[p] is non-nil only for border points in 2+ clusters.
-	memberships := make([][]int32, c.Pts.N)
-	st.ex.ForGrain(numCells, 1, func(g int) {
-		if c.CellSize(g) >= st.p.MinPts {
-			return // all points are core
-		}
-		for _, p := range c.PointsOf(g) {
-			if st.coreFlags[p] {
-				continue
+	border := make(map[int32][]int32)
+	var mu sync.Mutex
+	st.ex.BlockedFor(numCells, 1, func(lo, hi int) {
+		ws := st.getWS()
+		var multiP []int32   // border points in 2+ clusters found by this block
+		var multiM [][]int32 // their membership lists (freshly allocated)
+		for g := lo; g < hi; g++ {
+			if c.CellSize(g) >= st.p.MinPts {
+				continue // all points are core
 			}
-			q := st.at(p)
-			var found []int32 // distinct cluster labels, ascending insert
-			addCell := func(h int32) {
-				// Skip non-core cells and cells beyond eps.
-				core := st.corePts[h]
-				if len(core) == 0 {
-					return
+			for _, p := range c.PointsOf(g) {
+				if st.coreFlags[p] {
+					continue
 				}
-				d := c.Pts.D
-				if geom.PointBoxDistSq(q,
-					st.coreBBLo[int(h)*d:(int(h)+1)*d],
-					st.coreBBHi[int(h)*d:(int(h)+1)*d]) > eps2 {
-					return
+				found := st.borderScanCell(p, int32(g), labels, ws.found[:0])
+				for _, h := range c.Neighbors[g] {
+					found = st.borderScanCell(p, h, labels, found)
 				}
-				// The whole cell belongs to one cluster; if we already have
-				// its label, no need to scan the points again.
-				lbl := labels[core[0]]
-				if containsLabel(found, lbl) {
-					return
-				}
-				for _, r := range core {
-					if geom.DistSq(q, st.at(r)) <= eps2 {
-						found = insertLabel(found, lbl)
-						return
+				ws.found = found // keep grown capacity
+				if len(found) > 0 {
+					labels[p] = found[0]
+					if len(found) > 1 {
+						multiP = append(multiP, p)
+						multiM = append(multiM, append([]int32(nil), found...))
 					}
 				}
 			}
-			addCell(int32(g))
-			for _, h := range c.Neighbors[g] {
-				addCell(h)
+		}
+		st.putWS(ws)
+		if len(multiP) > 0 {
+			mu.Lock()
+			for i, p := range multiP {
+				border[p] = multiM[i]
 			}
-			if len(found) > 0 {
-				labels[p] = found[0]
-				if len(found) > 1 {
-					memberships[p] = found
-				}
-			}
+			mu.Unlock()
 		}
 	})
-
-	border := make(map[int32][]int32)
-	for p, m := range memberships {
-		if m != nil {
-			border[int32(p)] = m
-		}
-	}
 	return border
+}
+
+// borderScanCell checks non-core point p against the core points of cell h
+// and inserts h's cluster label into the ascending set found when some core
+// point lies within eps.
+func (st *pipeline) borderScanCell(p, h int32, labels []int32, found []int32) []int32 {
+	core := st.corePts[h]
+	if len(core) == 0 {
+		return found // non-core cell
+	}
+	// Skip cells whose core bounding box is beyond eps.
+	if st.k.PointBoxDistSqAt(p, st.coreBBLo, st.coreBBHi, h) > st.eps2 {
+		return found
+	}
+	// The whole cell belongs to one cluster; if we already have its label,
+	// no need to scan the points again.
+	lbl := labels[core[0]]
+	if containsLabel(found, lbl) {
+		return found
+	}
+	if st.k.AnyWithin(p, core, st.eps2) {
+		return insertLabel(found, lbl)
+	}
+	return found
 }
 
 func containsLabel(set []int32, l int32) bool {

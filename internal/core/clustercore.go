@@ -2,17 +2,20 @@ package core
 
 import (
 	"pdbscan/internal/delaunay"
-	"pdbscan/internal/geom"
 	"pdbscan/internal/prim"
-	"pdbscan/internal/unionfind"
 )
+
+// connectFunc is a cell-pair connectivity predicate. The workerScratch
+// carries the caller's per-worker buffers for predicates that need scratch
+// (BCP's filtered point lists); predicates that don't ignore it.
+type connectFunc func(g, h int32, ws *workerScratch) bool
 
 // clusterCore implements Algorithm 3: build the cell graph over core cells,
 // maintaining connected components on the fly in a lock-free union-find so
 // that connectivity queries between already-connected cells are pruned, and
 // optionally processing cells in size-sorted batches (bucketing).
 func (st *pipeline) clusterCore() {
-	st.uf = unionfind.New(st.cells.NumCells())
+	st.initUF(st.cells.NumCells())
 	if len(st.coreCells) == 0 {
 		return
 	}
@@ -25,17 +28,18 @@ func (st *pipeline) clusterCore() {
 
 	// SortBySize (Algorithm 3, line 3): non-increasing core-point count, so
 	// large cells connect their surroundings early and prune later queries.
-	order := make([]int32, len(st.coreCells))
+	st.rs.order = int32Buf(st.rs.order, len(st.coreCells))
+	order := st.rs.order
 	copy(order, st.coreCells)
 	prim.Sort(st.ex, order, st.coreSizeLess)
 
-	process := func(g int32) {
+	process := func(g int32, ws *workerScratch) {
 		for _, h := range st.cells.Neighbors[g] {
 			// Each unordered pair is examined by the higher-index cell.
 			if h >= g {
 				continue
 			}
-			st.processPair(g, h, connect)
+			st.processPair(g, h, connect, ws)
 		}
 	}
 
@@ -54,10 +58,22 @@ func (st *pipeline) clusterCore() {
 				hi = len(order)
 			}
 			batch := order[lo:hi]
-			st.ex.ForGrain(len(batch), 1, func(i int) { process(batch[i]) })
+			st.ex.BlockedFor(len(batch), 1, func(lo, hi int) {
+				ws := st.getWS()
+				for i := lo; i < hi; i++ {
+					process(batch[i], ws)
+				}
+				st.putWS(ws)
+			})
 		}
 	} else {
-		st.ex.ForGrain(len(order), 1, func(i int) { process(order[i]) })
+		st.ex.BlockedFor(len(order), 1, func(lo, hi int) {
+			ws := st.getWS()
+			for i := lo; i < hi; i++ {
+				process(order[i], ws)
+			}
+			st.putWS(ws)
+		})
 	}
 }
 
@@ -80,15 +96,17 @@ func (st *pipeline) coreSizeLess(a, b int32) bool {
 // land on the exact connected components of the full edge set. Not valid for
 // GraphDelaunay, whose connectivity is a whole-triangulation computation
 // rather than a per-pair predicate.
-func (st *pipeline) connectFn() func(g, h int32) bool {
+func (st *pipeline) connectFn() connectFunc {
 	switch st.p.Graph {
 	case GraphBCP:
 		return st.bcpConnected
 	case GraphQuadtree:
-		st.coreTrees = make([]lazyTree, st.cells.NumCells())
+		st.rs.coreTrees = lazyTreeBuf(st.rs.coreTrees, st.cells.NumCells())
+		st.coreTrees = st.rs.coreTrees
 		return st.quadtreeConnected
 	case GraphApprox:
-		st.coreTrees = make([]lazyTree, st.cells.NumCells())
+		st.rs.coreTrees = lazyTreeBuf(st.rs.coreTrees, st.cells.NumCells())
+		st.coreTrees = st.rs.coreTrees
 		return st.approxConnected
 	case GraphUSEC:
 		st.initUSEC()
@@ -103,24 +121,20 @@ func (st *pipeline) connectFn() func(g, h int32) bool {
 // on a positive connectivity answer. Shared verbatim by the monolithic batch
 // traversal and the sharded intra-shard and boundary-merge passes, so every
 // path applies the identical edge function.
-func (st *pipeline) processPair(g, h int32, connect func(g, h int32) bool) {
+func (st *pipeline) processPair(g, h int32, connect connectFunc, ws *workerScratch) {
 	if len(st.corePts[g]) == 0 || len(st.corePts[h]) == 0 {
 		return // not a core cell pair
 	}
 	// Core bounding boxes must be within eps for any core pair to qualify
 	// (the neighbor relation was computed from full cells).
-	d := st.cells.Pts.D
-	if geom.BoxBoxDistSq(
-		st.coreBBLo[int(g)*d:(int(g)+1)*d], st.coreBBHi[int(g)*d:(int(g)+1)*d],
-		st.coreBBLo[int(h)*d:(int(h)+1)*d], st.coreBBHi[int(h)*d:(int(h)+1)*d],
-	) > st.eps*st.eps {
+	if st.k.BoxBoxDistSqAt(st.coreBBLo, st.coreBBHi, g, h) > st.eps2 {
 		return
 	}
 	// Reduced connectivity queries: skip if already connected.
 	if st.uf.SameSet(g, h) {
 		return
 	}
-	if connect(g, h) {
+	if connect(g, h, ws) {
 		st.uf.Union(g, h)
 	}
 }
@@ -129,10 +143,11 @@ func (st *pipeline) processPair(g, h int32, connect func(g, h int32) bool) {
 // computation over core points, using the two optimizations of Section 4.4:
 // (1) filter out points farther than eps from the other cell's core bounding
 // box, and (2) iterate over fixed-size blocks of the two point sets, aborting
-// as soon as any pair within eps is found.
-func (st *pipeline) bcpConnected(g, h int32) bool {
+// as soon as any pair within eps is found. The filtered lists live in the
+// worker's pooled scratch — no allocation per pair.
+func (st *pipeline) bcpConnected(g, h int32, ws *workerScratch) bool {
 	d := st.cells.Pts.D
-	eps2 := st.eps * st.eps
+	eps2 := st.eps2
 	gPts := st.corePts[g]
 	hPts := st.corePts[h]
 	gLo, gHi := st.coreBBLo[int(g)*d:(int(g)+1)*d], st.coreBBHi[int(g)*d:(int(g)+1)*d]
@@ -140,49 +155,23 @@ func (st *pipeline) bcpConnected(g, h int32) bool {
 
 	// Filter: only points within eps of the other cell's core box can be in
 	// a qualifying pair.
-	gf := filterNear(st, gPts, hLo, hHi, eps2)
-	if len(gf) == 0 {
+	ws.gf = st.k.FilterNearInto(ws.gf[:0], gPts, hLo, hHi, eps2)
+	if len(ws.gf) == 0 {
 		return false
 	}
-	hf := filterNear(st, hPts, gLo, gHi, eps2)
-	if len(hf) == 0 {
+	ws.hf = st.k.FilterNearInto(ws.hf[:0], hPts, gLo, gHi, eps2)
+	if len(ws.hf) == 0 {
 		return false
 	}
 
 	// Blocked early-termination scan.
-	const block = 64
-	for i := 0; i < len(gf); i += block {
-		iEnd := min(i+block, len(gf))
-		for j := 0; j < len(hf); j += block {
-			jEnd := min(j+block, len(hf))
-			for _, p := range gf[i:iEnd] {
-				pRow := st.at(p)
-				for _, q := range hf[j:jEnd] {
-					if geom.DistSq(pRow, st.at(q)) <= eps2 {
-						return true
-					}
-				}
-			}
-		}
-	}
-	return false
-}
-
-// filterNear returns the subset of pts within sqrt(eps2) of the box.
-func filterNear(st *pipeline, pts []int32, boxLo, boxHi []float64, eps2 float64) []int32 {
-	out := make([]int32, 0, len(pts))
-	for _, p := range pts {
-		if geom.PointBoxDistSq(st.at(p), boxLo, boxHi) <= eps2 {
-			out = append(out, p)
-		}
-	}
-	return out
+	return st.k.AnyPairWithin(ws.gf, ws.hf, eps2)
 }
 
 // quadtreeConnected queries the larger cell's core quadtree with each core
 // point of the smaller cell, terminating on the first non-zero range count
 // (the exact quadtree connectivity of Section 5.2).
-func (st *pipeline) quadtreeConnected(g, h int32) bool {
+func (st *pipeline) quadtreeConnected(g, h int32, _ *workerScratch) bool {
 	// Query from the smaller side into the bigger tree.
 	if len(st.corePts[g]) > len(st.corePts[h]) {
 		g, h = h, g
@@ -199,7 +188,7 @@ func (st *pipeline) quadtreeConnected(g, h int32) bool {
 // approxConnected is quadtreeConnected with Gan–Tao's approximate range
 // query: connect when a point is certainly within eps, never connect when
 // everything is beyond eps(1+rho), either answer in between.
-func (st *pipeline) approxConnected(g, h int32) bool {
+func (st *pipeline) approxConnected(g, h int32, _ *workerScratch) bool {
 	if len(st.corePts[g]) > len(st.corePts[h]) {
 		g, h = h, g
 	}

@@ -3,11 +3,9 @@ package core
 import (
 	"fmt"
 
-	"pdbscan/internal/geom"
 	"pdbscan/internal/grid"
 	"pdbscan/internal/prim"
 	"pdbscan/internal/quadtree"
-	"pdbscan/internal/unionfind"
 )
 
 // Incremental carries the per-cell pipeline state that survives between
@@ -53,6 +51,13 @@ type Incremental struct {
 	edges    [][]edgeEntry
 	edgeKind GraphStrategy // GraphBCP (all exact methods) or GraphApprox
 	edgeRho  float64
+
+	// edgesSpare is the previous tick's top-level edge table, recycled as
+	// the next tick's newEdges so a steady-state tick allocates no
+	// cell-count-sized table. Only the outer slice is reused — the per-cell
+	// entry lists may be aliased between consecutive tables (the clean-cell
+	// fast path re-points them), so entries are never appended in place.
+	edgesSpare [][]edgeEntry
 }
 
 // NewIncremental returns an empty cache; the first RunIncremental on it
@@ -145,7 +150,8 @@ func RunIncremental(cells *grid.Cells, p Params, inc *Incremental, dirty *grid.D
 		}
 	}
 
-	st := &pipeline{cells: cells, p: p, eps: cells.Eps, ex: p.Exec}
+	st := newPipeline(cells, p)
+	defer st.release()
 
 	// MarkCore, restricted to core-dirty cells over the cached flags.
 	if len(inc.coreFlags) < n {
@@ -153,7 +159,8 @@ func RunIncremental(cells *grid.Cells, p Params, inc *Incremental, dirty *grid.D
 	}
 	st.coreFlags = inc.coreFlags[:n]
 	if p.Mark == MarkQuadtree {
-		st.allTrees = make([]lazyTree, numCells)
+		st.rs.allTrees = lazyTreeBuf(st.rs.allTrees, numCells)
+		st.allTrees = st.rs.allTrees
 		st.preAllTrees = inc.allTrees // nil entries (or a nil slice) build lazily
 	}
 	st.ex.For(n, func(i int) {
@@ -161,10 +168,14 @@ func RunIncremental(cells *grid.Cells, p Params, inc *Incremental, dirty *grid.D
 			st.coreFlags[i] = false // freed point slot
 		}
 	})
-	st.ex.ForGrain(numCells, 1, func(g int) {
-		if (allDirty || affected[g]) && cells.CellSize(g) > 0 {
-			st.markCellCore(g)
+	st.ex.BlockedFor(numCells, 1, func(lo, hi int) {
+		ws := st.getWS()
+		for g := lo; g < hi; g++ {
+			if (allDirty || affected[g]) && cells.CellSize(g) > 0 {
+				st.markCellCore(g, ws)
+			}
 		}
+		st.putWS(ws)
 	})
 
 	st.collectCoreIncremental(inc, allDirty, affected)
@@ -265,14 +276,15 @@ func harvestTrees(cached []*quadtree.Tree, built []lazyTree, numCells int) []*qu
 // alone certifies a cached value.
 func (st *pipeline) clusterCoreIncremental(inc *Incremental, kind GraphStrategy, allDirty bool, affected []bool) {
 	numCells := st.cells.NumCells()
-	st.uf = unionfind.New(numCells)
+	st.initUF(numCells)
 
-	var connect func(g, h int32) bool
+	var connect connectFunc
 	switch kind {
 	case GraphBCP:
 		connect = st.bcpConnected
 	case GraphApprox:
-		st.coreTrees = make([]lazyTree, numCells)
+		st.rs.coreTrees = lazyTreeBuf(st.rs.coreTrees, numCells)
+		st.coreTrees = st.rs.coreTrees
 		st.preCoreTrees = inc.preCoreTreesFor(numCells)
 		connect = st.approxConnected
 	}
@@ -283,75 +295,86 @@ func (st *pipeline) clusterCoreIncremental(inc *Incremental, kind GraphStrategy,
 	reusable := inc.valid && inc.minPts == st.p.MinPts &&
 		inc.edgeKind == kind && (kind != GraphApprox || inc.edgeRho == st.p.Rho)
 
-	eps2 := st.eps * st.eps
-	d := st.cells.Pts.D
-	evaluate := func(g, h int32) bool {
+	evaluate := func(g, h int32, ws *workerScratch) bool {
 		// The core-bounding-box filter is part of the edge function (shared
 		// with clusterCore, so the booleans — and for approx, the actual
 		// query sequence — match the from-scratch path).
-		if geom.BoxBoxDistSq(
-			st.coreBBLo[int(g)*d:(int(g)+1)*d], st.coreBBHi[int(g)*d:(int(g)+1)*d],
-			st.coreBBLo[int(h)*d:(int(h)+1)*d], st.coreBBHi[int(h)*d:(int(h)+1)*d],
-		) > eps2 {
+		if st.k.BoxBoxDistSqAt(st.coreBBLo, st.coreBBHi, g, h) > st.eps2 {
 			return false
 		}
-		return connect(g, h)
+		return connect(g, h, ws)
 	}
 
-	newEdges := make([][]edgeEntry, numCells)
-	st.ex.ForGrain(len(st.coreCells), 1, func(i int) {
-		g := st.coreCells[i]
-		// A clean cell's cached entry list is aligned with its (unchanged,
-		// sorted) neighbor list: walk the two in lockstep. An entry whose h
-		// is clean carries a valid boolean; affected h's are re-evaluated
-		// (their core point set may have changed).
-		var prev []edgeEntry
-		if reusable && !allDirty && !affected[g] && int(g) < len(inc.edges) {
-			prev = inc.edges[g]
-			// Fast path: no neighbor below g is dirty, so the cached entry
-			// list is valid wholesale — just union its true edges.
-			fast := true
-			for _, h := range st.cells.Neighbors[g] {
-				if h < g && affected[h] {
-					fast = false
-					break
-				}
-			}
-			if fast {
-				for _, e := range prev {
-					if e.conn {
-						st.uf.Union(g, e.h)
+	// Recycle the previous tick's top-level table (cleared to full capacity:
+	// stale entries must not pin vanished cells' lists even when the cell
+	// count shrank); the per-cell entry lists are never reused in place —
+	// see the edgesSpare invariant.
+	newEdges := inc.edgesSpare
+	if cap(newEdges) < numCells {
+		newEdges = make([][]edgeEntry, numCells)
+	} else {
+		newEdges = newEdges[:cap(newEdges)]
+		clear(newEdges)
+		newEdges = newEdges[:numCells]
+	}
+	st.ex.BlockedFor(len(st.coreCells), 1, func(blo, bhi int) {
+		ws := st.getWS()
+		defer st.putWS(ws)
+		for i := blo; i < bhi; i++ {
+			g := st.coreCells[i]
+			// A clean cell's cached entry list is aligned with its (unchanged,
+			// sorted) neighbor list: walk the two in lockstep. An entry whose h
+			// is clean carries a valid boolean; affected h's are re-evaluated
+			// (their core point set may have changed).
+			var prev []edgeEntry
+			if reusable && !allDirty && !affected[g] && int(g) < len(inc.edges) {
+				prev = inc.edges[g]
+				// Fast path: no neighbor below g is dirty, so the cached entry
+				// list is valid wholesale — just union its true edges.
+				fast := true
+				for _, h := range st.cells.Neighbors[g] {
+					if h < g && affected[h] {
+						fast = false
+						break
 					}
 				}
-				newEdges[g] = prev
-				return
+				if fast {
+					for _, e := range prev {
+						if e.conn {
+							st.uf.Union(g, e.h)
+						}
+					}
+					newEdges[g] = prev
+					continue
+				}
 			}
+			pi := 0
+			out := make([]edgeEntry, 0, len(prev))
+			for _, h := range st.cells.Neighbors[g] {
+				if h >= g || len(st.corePts[h]) == 0 {
+					continue
+				}
+				for pi < len(prev) && prev[pi].h < h {
+					pi++
+				}
+				var conn bool
+				if prev != nil && !affected[h] && pi < len(prev) && prev[pi].h == h {
+					conn = prev[pi].conn
+				} else {
+					conn = evaluate(g, h, ws)
+				}
+				out = append(out, edgeEntry{h: h, conn: conn})
+				if conn {
+					st.uf.Union(g, h)
+				}
+			}
+			newEdges[g] = out
 		}
-		pi := 0
-		out := make([]edgeEntry, 0, len(prev))
-		for _, h := range st.cells.Neighbors[g] {
-			if h >= g || len(st.corePts[h]) == 0 {
-				continue
-			}
-			for pi < len(prev) && prev[pi].h < h {
-				pi++
-			}
-			var conn bool
-			if prev != nil && !affected[h] && pi < len(prev) && prev[pi].h == h {
-				conn = prev[pi].conn
-			} else {
-				conn = evaluate(g, h)
-			}
-			out = append(out, edgeEntry{h: h, conn: conn})
-			if conn {
-				st.uf.Union(g, h)
-			}
-		}
-		newEdges[g] = out
 	})
 
 	// Replace the edge cache wholesale: entries for vanished cells drop out
-	// by construction.
+	// by construction. The displaced table becomes the next tick's spare.
+	inc.edgesSpare = inc.edges
 	inc.edges = newEdges
 	inc.edgeKind = kind
 	inc.edgeRho = st.p.Rho

@@ -67,6 +67,22 @@ type Params struct {
 	// opposed to a process-wide worker count — is what makes concurrent Run
 	// calls with different budgets safe.
 	Exec *parallel.Pool
+
+	// Arena pools the pipeline's scratch buffers across runs; nil means no
+	// pooling (one-shot behavior). Clusterer and StreamingClusterer thread
+	// their per-instance arena here so repeated runs are near-allocation-free.
+	Arena *Arena
+
+	// ForceGenericKernel resolves the pipeline's own distance kernel to the
+	// generic-D loop instead of the dimension-specialized forms. Results are
+	// bit-identical either way (the kernels are exact re-expressions); the
+	// flag exists so cmd/dbscanbench -exp hot can measure specialization
+	// against its own fallback. Scope: it covers the pipeline's loops
+	// (MarkCore counting, BCP, border attachment, cell-graph filters) — the
+	// quadtree and k-d tree resolve their own kernels at build time and stay
+	// specialized, so tree-heavy configurations (exact-qt, approx) measure
+	// mostly the arena, not the kernel, under this flag.
+	ForceGenericKernel bool
 }
 
 // Result is the clustering output.
@@ -89,10 +105,16 @@ type pipeline struct {
 	cells *grid.Cells
 	p     Params
 	eps   float64
+	eps2  float64
 	ex    *parallel.Pool // == p.Exec; the executor for every parallel phase
+	k     geom.Kernel    // dimension-resolved distance kernel, fixed per run
+
+	arena *Arena      // == p.Arena (nil: no pooling)
+	rs    *runScratch // this run's checked-out scratch; returned by release
 
 	coreFlags []bool
 	corePts   [][]int32 // per cell: indices of its core points
+	coreStore []int32   // flat backing of small-cell core lists (batch paths; nil incremental)
 	coreBBLo  []float64 // per cell: bounding box of its core points
 	coreBBHi  []float64
 	coreCells []int32 // cells with at least one core point
@@ -140,13 +162,48 @@ func validateParams(cells *grid.Cells, p *Params) error {
 	return nil
 }
 
+// newPipeline builds the per-run state: the dimension-resolved kernel and a
+// runScratch checked out of p.Arena (fresh when nil). Callers must pair it
+// with release.
+func newPipeline(cells *grid.Cells, p Params) *pipeline {
+	k := geom.NewKernel(cells.Pts)
+	if p.ForceGenericKernel {
+		k = geom.NewGenericKernel(cells.Pts)
+	}
+	return &pipeline{
+		cells: cells, p: p, eps: cells.Eps, eps2: cells.Eps * cells.Eps,
+		ex: p.Exec, k: k, arena: p.Arena, rs: p.Arena.getRun(),
+	}
+}
+
+// release returns the run's scratch to the arena. The scratch keeps aliases
+// into the cells (core point lists alias cell point lists) — that is fine,
+// the arena belongs to the Clusterer that owns the cells.
+func (st *pipeline) release() {
+	st.arena.putRun(st.rs)
+	st.rs = nil
+}
+
+// getWS checks a workerScratch out for one parallel block (or one shard).
+func (st *pipeline) getWS() *workerScratch { return st.arena.getWorker() }
+
+// putWS returns a block's workerScratch.
+func (st *pipeline) putWS(ws *workerScratch) { st.arena.putWorker(ws) }
+
+// initUF readies the union-find over numCells cells from the run scratch.
+func (st *pipeline) initUF(numCells int) {
+	st.rs.uf.Reset(numCells)
+	st.uf = &st.rs.uf
+}
+
 // Run executes the full pipeline on prepared cells (Neighbors must have been
 // computed).
 func Run(cells *grid.Cells, p Params) (*Result, error) {
 	if err := validateParams(cells, &p); err != nil {
 		return nil, err
 	}
-	st := &pipeline{cells: cells, p: p, eps: cells.Eps, ex: p.Exec}
+	st := newPipeline(cells, p)
+	defer st.release()
 	st.markCore()
 	st.collectCore()
 	st.clusterCore()
@@ -160,15 +217,29 @@ func Run(cells *grid.Cells, p Params) (*Result, error) {
 	}, nil
 }
 
-// collectCore builds the per-cell core point lists, core bounding boxes, and
-// the list of core cells.
-func (st *pipeline) collectCore() {
+// initCoreState readies the per-cell core buffers (lists, flat backing,
+// bounding boxes) from the run scratch — shared by the monolithic and
+// sharded batch paths. Every cell's entries are overwritten by
+// collectCellCore before any read, so no clearing is needed.
+func (st *pipeline) initCoreState() {
 	c := st.cells
 	d := c.Pts.D
 	numCells := c.NumCells()
-	st.corePts = make([][]int32, numCells)
-	st.coreBBLo = make([]float64, numCells*d)
-	st.coreBBHi = make([]float64, numCells*d)
+	st.rs.corePts = slicesBuf(st.rs.corePts, numCells)
+	st.rs.coreStore = int32Buf(st.rs.coreStore, c.Pts.N)
+	st.rs.coreBBLo = floatBuf(st.rs.coreBBLo, numCells*d)
+	st.rs.coreBBHi = floatBuf(st.rs.coreBBHi, numCells*d)
+	st.corePts = st.rs.corePts
+	st.coreStore = st.rs.coreStore
+	st.coreBBLo = st.rs.coreBBLo
+	st.coreBBHi = st.rs.coreBBHi
+}
+
+// collectCore builds the per-cell core point lists, core bounding boxes, and
+// the list of core cells.
+func (st *pipeline) collectCore() {
+	numCells := st.cells.NumCells()
+	st.initCoreState()
 	st.ex.ForGrain(numCells, 1, func(g int) { st.collectCellCore(g) })
 	st.coreCells = prim.FilterIndex(st.ex, numCells, func(g int) bool {
 		return len(st.corePts[g]) > 0
@@ -176,8 +247,13 @@ func (st *pipeline) collectCore() {
 }
 
 // collectCellCore derives cell g's core point list and core bounding box from
-// the core flags (the per-cell body shared by collectCore and the incremental
-// path — one implementation, so the two paths can never desynchronize).
+// the core flags (the per-cell body shared by collectCore, the sharded path,
+// and the incremental path — one implementation, so the paths can never
+// desynchronize). All-core cells alias the cell's point list. Small cells
+// write into their disjoint region of the flat coreStore when the batch
+// scratch provides one; the incremental path (coreStore nil) counts the set
+// flags first and allocates exactly — its lists are cached across ticks and
+// must own their memory.
 func (st *pipeline) collectCellCore(g int) {
 	c := st.cells
 	d := c.Pts.D
@@ -185,10 +261,28 @@ func (st *pipeline) collectCellCore(g int) {
 	var core []int32
 	if c.CellSize(g) >= st.p.MinPts {
 		core = pts // every point is core; alias the cell's slice
-	} else {
+	} else if st.coreStore != nil {
+		off := c.CellStart[g]
+		buf := st.coreStore[off : off : off+int32(len(pts))]
 		for _, p := range pts {
 			if st.coreFlags[p] {
-				core = append(core, p)
+				buf = append(buf, p)
+			}
+		}
+		core = buf
+	} else {
+		cnt := 0
+		for _, p := range pts {
+			if st.coreFlags[p] {
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			core = make([]int32, 0, cnt)
+			for _, p := range pts {
+				if st.coreFlags[p] {
+					core = append(core, p)
+				}
 			}
 		}
 	}
@@ -305,7 +399,7 @@ func (st *pipeline) coreTree(g int32) *quadtree.Tree {
 // geomAt is a tiny helper for readability.
 func (st *pipeline) at(p int32) []float64 { return st.cells.Pts.At(int(p)) }
 
-// distSq between two points by index.
+// distSq between two points by index, through the run's kernel.
 func (st *pipeline) distSq(a, b int32) float64 {
-	return geom.DistSq(st.at(a), st.at(b))
+	return st.k.DistSq(a, b)
 }

@@ -5,7 +5,6 @@ import (
 	"slices"
 
 	"pdbscan/internal/grid"
-	"pdbscan/internal/unionfind"
 )
 
 // RunSharded executes the pipeline as a partition/merge computation over a
@@ -48,27 +47,28 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 	if part == nil || len(part.ShardOf) != numCells {
 		return nil, fmt.Errorf("core: RunSharded requires a Partition of the given cells")
 	}
-	st := &pipeline{cells: cells, p: p, eps: cells.Eps, ex: p.Exec}
-	d := cells.Pts.D
+	st := newPipeline(cells, p)
+	defer st.release()
 
 	// Phase 1 — per shard: MarkCore then collect core state for every owned
 	// cell. Marking reads the points of neighbor cells wherever they live
 	// (halo reads are the only cross-shard traffic, and they are read-only);
 	// collection touches only the cell's own flags, set just before.
-	st.coreFlags = make([]bool, cells.Pts.N)
+	st.coreFlags = make([]bool, cells.Pts.N) // escapes into Result.Core
 	if st.p.Mark == MarkQuadtree {
-		st.allTrees = make([]lazyTree, numCells)
+		st.rs.allTrees = lazyTreeBuf(st.rs.allTrees, numCells)
+		st.allTrees = st.rs.allTrees
 	}
-	st.corePts = make([][]int32, numCells)
-	st.coreBBLo = make([]float64, numCells*d)
-	st.coreBBHi = make([]float64, numCells*d)
+	st.initCoreState()
 	st.ex.ForGrain(part.NumShards, 1, func(s int) {
+		ws := st.getWS()
 		for _, g := range part.Owned[s] {
-			st.markCellCore(int(g))
+			st.markCellCore(int(g), ws)
 		}
 		for _, g := range part.Owned[s] {
 			st.collectCellCore(int(g))
 		}
+		st.putWS(ws)
 	})
 	// st.coreCells stays nil: the monolithic traversal's global core-cell
 	// list has no sharded consumer — each shard derives its own from
@@ -77,15 +77,17 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 	// Phase 2 — per shard: intra-shard cell graph. Unions stay within the
 	// shard's owned cells, so shards never contend; the union-find is global
 	// only so phase 3 can link across shards without re-indexing.
-	st.uf = unionfind.New(numCells)
-	var connect func(g, h int32) bool
+	st.initUF(numCells)
+	var connect connectFunc
 	if st.p.Graph == GraphDelaunay {
 		connect = st.bcpConnected // boundary edges: exact per-pair predicate
 	} else {
 		connect = st.connectFn()
 	}
 	st.ex.ForGrain(part.NumShards, 1, func(s int) {
-		st.clusterShard(part, s, connect)
+		ws := st.getWS()
+		st.clusterShard(part, s, connect, ws)
+		st.putWS(ws)
 	})
 
 	// Phase 3 — boundary merge: evaluate the cell-graph edges that cross
@@ -94,6 +96,7 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 	// every cross edge is examined exactly once, by the owner of its higher
 	// cell. Cross-shard unions on the lock-free union-find are safe.
 	st.ex.ForGrain(part.NumShards, 1, func(s int) {
+		ws := st.getWS()
 		for _, g := range part.Boundary[s] {
 			if len(st.corePts[g]) == 0 {
 				continue
@@ -102,9 +105,10 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 				if h >= g || part.ShardOf[h] == int32(s) {
 					continue
 				}
-				st.processPair(g, h, connect)
+				st.processPair(g, h, connect, ws)
 			}
 		}
+		st.putWS(ws)
 	})
 
 	labels, numClusters := st.coreLabels()
@@ -121,7 +125,7 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 // in size-sorted order (Algorithm 3's SortBySize, per shard), each examining
 // its lower-index same-shard neighbors. Cross-shard pairs are left to the
 // boundary-merge pass.
-func (st *pipeline) clusterShard(part *grid.Partition, s int, connect func(g, h int32) bool) {
+func (st *pipeline) clusterShard(part *grid.Partition, s int, connect connectFunc, ws *workerScratch) {
 	if st.p.Graph == GraphDelaunay {
 		// Triangulate this shard's own core points; inter-cell edges <= eps
 		// union owned cells only (every triangulated point is owned).
@@ -134,12 +138,13 @@ func (st *pipeline) clusterShard(part *grid.Partition, s int, connect func(g, h 
 		st.delaunayUnion(coreCells)
 		return
 	}
-	order := make([]int32, 0, len(part.Owned[s]))
+	order := ws.cellOrder[:0]
 	for _, g := range part.Owned[s] {
 		if len(st.corePts[g]) > 0 {
 			order = append(order, g)
 		}
 	}
+	ws.cellOrder = order // keep grown capacity
 	slices.SortFunc(order, func(a, b int32) int {
 		if st.coreSizeLess(a, b) {
 			return -1
@@ -154,7 +159,7 @@ func (st *pipeline) clusterShard(part *grid.Partition, s int, connect func(g, h 
 			if h >= g || part.ShardOf[h] != int32(s) {
 				continue
 			}
-			st.processPair(g, h, connect)
+			st.processPair(g, h, connect, ws)
 		}
 	}
 }

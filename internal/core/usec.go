@@ -28,7 +28,8 @@ type usecCell struct {
 }
 
 func (st *pipeline) initUSEC() {
-	st.usecCells = make([]usecCell, st.cells.NumCells())
+	st.rs.usecCells = usecCellBuf(st.rs.usecCells, st.cells.NumCells())
+	st.usecCells = st.rs.usecCells
 }
 
 // sorted ensures and returns the coordinate-sorted core point lists of cell g.
@@ -86,7 +87,7 @@ func (st *pipeline) envelope(g int32, dir int) *usec.Envelope {
 // always exists: cells are disjoint axis-aligned boxes), take the wavefront
 // of the cell below/left of the line, and test whether any core point of the
 // other cell lies inside the union of circles.
-func (st *pipeline) usecConnected(g, h int32) bool {
+func (st *pipeline) usecConnected(g, h int32, ws *workerScratch) bool {
 	gLo := st.coreBBLo[2*g : 2*g+2]
 	gHi := st.coreBBHi[2*g : 2*g+2]
 	hLo := st.coreBBLo[2*h : 2*h+2]
@@ -106,7 +107,7 @@ func (st *pipeline) usecConnected(g, h int32) bool {
 	default:
 		// Unreachable for grid/box cells (disjoint boxes always separate
 		// along an axis); kept as a safe fallback.
-		return st.bcpConnected(g, h)
+		return st.bcpConnected(g, h, ws)
 	}
 	e := st.envelope(env, dir)
 	for _, p := range st.sorted(query).byX {

@@ -186,6 +186,7 @@ func (c *Cells) ComputeNeighborsBox2D(ex *parallel.Pool) {
 	numCells := c.NumCells()
 	numStrips := len(c.StripCellStart) - 1
 	eps2 := c.Eps * c.Eps
+	k := geom.NewKernel(c.Pts)
 	c.Neighbors = make([][]int32, numCells)
 	ex.ForGrain(numStrips, 1, func(s int) {
 		gLo, gHi := int(c.StripCellStart[s]), int(c.StripCellStart[s+1])
@@ -224,7 +225,7 @@ func (c *Cells) ComputeNeighborsBox2D(ex *parallel.Pool) {
 						continue
 					}
 					hbLo, hbHi := c.CellBox(h)
-					if geom.BoxBoxDistSq(gbLo, gbHi, hbLo, hbHi) <= eps2 {
+					if k.BoxBoxDistSq(gbLo, gbHi, hbLo, hbHi) <= eps2 {
 						nbrs = append(nbrs, int32(h))
 					}
 				}

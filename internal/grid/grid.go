@@ -370,6 +370,7 @@ func (c *Cells) enumNeighborsOf(abs []int64, exclude int32) []int32 {
 	// methods return identical neighbor sets.
 	pruneBound := eps2 * (1 + 1e-9)
 	var nbrs []int32
+	k := geom.NewKernel(c.Pts)
 	probe := make([]int32, d)
 	buf := make([]float64, 4*d)
 	gLo, gHi, hLo, hHi := buf[:d], buf[d:2*d], buf[2*d:3*d], buf[3*d:]
@@ -386,7 +387,7 @@ func (c *Cells) enumNeighborsOf(abs []int64, exclude int32) []int32 {
 			// the k-d path already returns it).
 			if h := c.table.lookup(probe); h >= 0 && h != exclude {
 				c.cubeInto(int(h), hLo, hHi)
-				if geom.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
+				if k.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
 					nbrs = append(nbrs, h)
 				}
 			}
@@ -456,6 +457,7 @@ func (c *Cells) kdNeighborsOf(tree *kdtree.Tree, slotOf []int32, abs []int64, ex
 	// eps; center distance is at most cube distance + side*sqrt(d).
 	radius := c.Eps + c.Side*math.Sqrt(float64(d)) + 1e-9
 	eps2 := c.Eps * c.Eps * (1 + 1e-12)
+	k := geom.NewKernel(c.Pts)
 	q := make([]float64, d)
 	gLo := make([]float64, d)
 	gHi := make([]float64, d)
@@ -475,7 +477,7 @@ func (c *Cells) kdNeighborsOf(tree *kdtree.Tree, slotOf []int32, abs []int64, ex
 			continue
 		}
 		c.cubeInto(int(h), hLo, hHi)
-		if geom.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
+		if k.BoxBoxDistSq(gLo, gHi, hLo, hHi) <= eps2 {
 			nbrs = append(nbrs, h)
 		}
 	}

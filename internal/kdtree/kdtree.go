@@ -29,7 +29,8 @@ type node struct {
 // Tree is a k-d tree over a set of points (by index).
 type Tree struct {
 	pts  geom.Points
-	idx  []int32 // reordered point indices
+	k    geom.Kernel // dimension-resolved distance kernel for traversals
+	idx  []int32     // reordered point indices
 	root *node
 	ex   *parallel.Pool // build-time executor; queries are serial
 }
@@ -45,7 +46,7 @@ func Build(ex *parallel.Pool, pts geom.Points) *Tree {
 // BuildSubset constructs a k-d tree over the given point indices. The slice
 // is taken over (reordered in place).
 func BuildSubset(ex *parallel.Pool, pts geom.Points, idx []int32) *Tree {
-	t := &Tree{pts: pts, idx: idx, ex: ex}
+	t := &Tree{pts: pts, k: geom.NewKernel(pts), idx: idx, ex: ex}
 	if len(idx) > 0 {
 		t.root = t.build(0, int32(len(idx)), 0, ex.Workers())
 	}
@@ -121,16 +122,16 @@ func (t *Tree) RangeCount(q []float64, r float64) int {
 }
 
 func (t *Tree) rangeCount(n *node, q []float64, r2 float64) int {
-	if geom.PointBoxDistSq(q, n.bbLo, n.bbHi) > r2 {
+	if t.k.PointBoxDistSq(q, n.bbLo, n.bbHi) > r2 {
 		return 0
 	}
-	if geom.BoxMaxDistSq(q, n.bbLo, n.bbHi) <= r2 {
+	if t.k.BoxMaxDistSq(q, n.bbLo, n.bbHi) <= r2 {
 		return int(n.hi - n.lo)
 	}
 	if n.left == nil {
 		c := 0
 		for i := n.lo; i < n.hi; i++ {
-			if geom.DistSq(q, t.pts.At(int(t.idx[i]))) <= r2 {
+			if t.k.DistSqRow(q, t.idx[i]) <= r2 {
 				c++
 			}
 		}
@@ -149,16 +150,16 @@ func (t *Tree) RangeQuery(q []float64, r float64, out []int32) []int32 {
 }
 
 func (t *Tree) rangeQuery(n *node, q []float64, r2 float64, out []int32) []int32 {
-	if geom.PointBoxDistSq(q, n.bbLo, n.bbHi) > r2 {
+	if t.k.PointBoxDistSq(q, n.bbLo, n.bbHi) > r2 {
 		return out
 	}
-	if geom.BoxMaxDistSq(q, n.bbLo, n.bbHi) <= r2 {
+	if t.k.BoxMaxDistSq(q, n.bbLo, n.bbHi) <= r2 {
 		out = append(out, t.idx[n.lo:n.hi]...)
 		return out
 	}
 	if n.left == nil {
 		for i := n.lo; i < n.hi; i++ {
-			if geom.DistSq(q, t.pts.At(int(t.idx[i]))) <= r2 {
+			if t.k.DistSqRow(q, t.idx[i]) <= r2 {
 				out = append(out, t.idx[i])
 			}
 		}
@@ -182,16 +183,16 @@ func (t *Tree) countAtLeast(n *node, q []float64, r2 float64, k *int) bool {
 	if *k <= 0 {
 		return true
 	}
-	if geom.PointBoxDistSq(q, n.bbLo, n.bbHi) > r2 {
+	if t.k.PointBoxDistSq(q, n.bbLo, n.bbHi) > r2 {
 		return false
 	}
-	if geom.BoxMaxDistSq(q, n.bbLo, n.bbHi) <= r2 {
+	if t.k.BoxMaxDistSq(q, n.bbLo, n.bbHi) <= r2 {
 		*k -= int(n.hi - n.lo)
 		return *k <= 0
 	}
 	if n.left == nil {
 		for i := n.lo; i < n.hi; i++ {
-			if geom.DistSq(q, t.pts.At(int(t.idx[i]))) <= r2 {
+			if t.k.DistSqRow(q, t.idx[i]) <= r2 {
 				*k--
 				if *k <= 0 {
 					return true

@@ -27,6 +27,7 @@ const hardMaxDepth = 64
 
 type node struct {
 	lo       []float64 // sub-cell corner (d coords)
+	hi       []float64 // lo + side per coordinate, precomputed once at build
 	side     float64   // sub-cell side length
 	start    int32     // range into tree idx
 	count    int32
@@ -34,9 +35,22 @@ type node struct {
 	capped   bool    // leaf due to the approximate depth cap
 }
 
+// fillHi precomputes the node's upper corner from its (final) lo and side.
+// Called when build returns the node — after the single-child descend loop
+// has stopped mutating lo — so the traversals never rebuild the corner per
+// visit (the per-visit slice allocation this replaces dominated quadtree
+// query cost).
+func (n *node) fillHi(d int) {
+	n.hi = make([]float64, d)
+	for j := 0; j < d; j++ {
+		n.hi[j] = n.lo[j] + n.side
+	}
+}
+
 // Tree answers range-count queries over one cell's points.
 type Tree struct {
 	pts  geom.Points
+	k    geom.Kernel // dimension-resolved distance kernel for leaf scans
 	idx  []int32
 	root *node
 	ex   *parallel.Pool // build-time executor; queries are serial
@@ -47,7 +61,7 @@ type Tree struct {
 // stops subdividing after maxDepth levels (the approximate tree of Section
 // 5.2 uses ApproxDepth(rho)).
 func Build(ex *parallel.Pool, pts geom.Points, idx []int32, boxLo []float64, side float64, maxDepth int) *Tree {
-	t := &Tree{pts: pts, idx: idx, ex: ex}
+	t := &Tree{pts: pts, k: geom.NewKernel(pts), idx: idx, ex: ex}
 	if len(idx) > 0 {
 		lo := make([]float64, pts.D)
 		copy(lo, boxLo)
@@ -69,6 +83,9 @@ func ApproxDepth(rho float64) int {
 func (t *Tree) build(lo []float64, side float64, start, count int32, depth, maxDepth, budget int) *node {
 	d := t.pts.D
 	n := &node{lo: lo, side: side, start: start, count: count}
+	// The descend loop below may still shift n.lo (it aliases lo); fill the
+	// upper corner only once this call is done mutating it.
+	defer n.fillHi(d)
 	if count <= leafThreshold || depth >= hardMaxDepth {
 		return n
 	}
@@ -195,14 +212,6 @@ func countingSortByKey(keys, vals []int32, keyRange int) {
 // Size returns the number of points in the tree.
 func (t *Tree) Size() int { return len(t.idx) }
 
-func (n *node) boxHi(d int) []float64 {
-	hi := make([]float64, d)
-	for j := 0; j < d; j++ {
-		hi[j] = n.lo[j] + n.side
-	}
-	return hi
-}
-
 // CountWithin returns the exact number of points within distance r of q
 // (the RangeCount of Algorithm 2, quadtree version).
 func (t *Tree) CountWithin(q []float64, r float64) int {
@@ -213,17 +222,16 @@ func (t *Tree) CountWithin(q []float64, r float64) int {
 }
 
 func (t *Tree) countWithin(n *node, q []float64, r2 float64) int {
-	hi := n.boxHi(t.pts.D)
-	if geom.PointBoxDistSq(q, n.lo, hi) > r2 {
+	if t.k.PointBoxDistSq(q, n.lo, n.hi) > r2 {
 		return 0
 	}
-	if geom.BoxMaxDistSq(q, n.lo, hi) <= r2 {
+	if t.k.BoxMaxDistSq(q, n.lo, n.hi) <= r2 {
 		return int(n.count)
 	}
 	if n.children == nil {
 		c := 0
 		for _, p := range t.idx[n.start : n.start+n.count] {
-			if geom.DistSq(q, t.pts.At(int(p))) <= r2 {
+			if t.k.DistSqRow(q, p) <= r2 {
 				c++
 			}
 		}
@@ -247,16 +255,15 @@ func (t *Tree) AnyWithin(q []float64, r float64) bool {
 }
 
 func (t *Tree) anyWithin(n *node, q []float64, r2 float64) bool {
-	hi := n.boxHi(t.pts.D)
-	if geom.PointBoxDistSq(q, n.lo, hi) > r2 {
+	if t.k.PointBoxDistSq(q, n.lo, n.hi) > r2 {
 		return false
 	}
-	if geom.BoxMaxDistSq(q, n.lo, hi) <= r2 {
+	if t.k.BoxMaxDistSq(q, n.lo, n.hi) <= r2 {
 		return true // node is non-empty by construction
 	}
 	if n.children == nil {
 		for _, p := range t.idx[n.start : n.start+n.count] {
-			if geom.DistSq(q, t.pts.At(int(p))) <= r2 {
+			if t.k.DistSqRow(q, p) <= r2 {
 				return true
 			}
 		}
@@ -282,11 +289,10 @@ func (t *Tree) ApproxAnyWithin(q []float64, eps, rho float64) bool {
 }
 
 func (t *Tree) approxAny(n *node, q []float64, eps2, relaxed2 float64) bool {
-	hi := n.boxHi(t.pts.D)
-	if geom.PointBoxDistSq(q, n.lo, hi) > eps2 {
+	if t.k.PointBoxDistSq(q, n.lo, n.hi) > eps2 {
 		return false
 	}
-	if geom.BoxMaxDistSq(q, n.lo, hi) <= relaxed2 {
+	if t.k.BoxMaxDistSq(q, n.lo, n.hi) <= relaxed2 {
 		return true // entire non-empty sub-cell inside the relaxed ball
 	}
 	if n.capped {
@@ -296,7 +302,7 @@ func (t *Tree) approxAny(n *node, q []float64, eps2, relaxed2 float64) bool {
 	}
 	if n.children == nil {
 		for _, p := range t.idx[n.start : n.start+n.count] {
-			if geom.DistSq(q, t.pts.At(int(p))) <= eps2 {
+			if t.k.DistSqRow(q, p) <= eps2 {
 				return true
 			}
 		}
@@ -321,11 +327,10 @@ func (t *Tree) ApproxCountWithin(q []float64, eps, rho float64) int {
 }
 
 func (t *Tree) approxCount(n *node, q []float64, eps2, relaxed2 float64) int {
-	hi := n.boxHi(t.pts.D)
-	if geom.PointBoxDistSq(q, n.lo, hi) > eps2 {
+	if t.k.PointBoxDistSq(q, n.lo, n.hi) > eps2 {
 		return 0
 	}
-	if geom.BoxMaxDistSq(q, n.lo, hi) <= relaxed2 {
+	if t.k.BoxMaxDistSq(q, n.lo, n.hi) <= relaxed2 {
 		return int(n.count)
 	}
 	if n.capped {
@@ -334,7 +339,7 @@ func (t *Tree) approxCount(n *node, q []float64, eps2, relaxed2 float64) int {
 	if n.children == nil {
 		c := 0
 		for _, p := range t.idx[n.start : n.start+n.count] {
-			if geom.DistSq(q, t.pts.At(int(p))) <= eps2 {
+			if t.k.DistSqRow(q, p) <= eps2 {
 				c++
 			}
 		}

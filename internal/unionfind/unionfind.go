@@ -22,11 +22,23 @@ type UF struct {
 
 // New creates a union-find with n singleton sets.
 func New(n int) *UF {
-	p := make([]int32, n)
-	for i := range p {
-		p[i] = int32(i)
+	u := &UF{}
+	u.Reset(n)
+	return u
+}
+
+// Reset reinitializes u to n singleton sets, reusing the backing array when
+// it is large enough. The zero UF is valid input. Must not race with any
+// other method; callers (the core scratch arena) reset between runs, never
+// during one.
+func (u *UF) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
 	}
-	return &UF{parent: p}
+	u.parent = u.parent[:n]
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
 }
 
 // Len returns the number of elements.

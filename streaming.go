@@ -46,11 +46,12 @@ import (
 // next incremental Run starts from scratch. Shards = 0 (auto) always stays
 // incremental — per-tick reuse is this type's reason to exist.
 type StreamingClusterer struct {
-	mu   sync.Mutex
-	dims int
-	eps  float64
-	dyn  *grid.Dynamic
-	inc  *core.Incremental
+	mu    sync.Mutex
+	dims  int
+	eps   float64
+	dyn   *grid.Dynamic
+	inc   *core.Incremental
+	arena *core.Arena // pooled pipeline scratch, reused across ticks
 
 	ids    []int64         // live ids, insertion order
 	slots  []int32         // point slot of ids[k] (kept aligned with ids)
@@ -119,6 +120,7 @@ func NewStreamingClusterer(dims int, eps float64) (*StreamingClusterer, error) {
 		eps:    eps,
 		dyn:    grid.NewDynamic(dims, eps),
 		inc:    core.NewIncremental(),
+		arena:  core.NewArena(),
 		slotOf: make(map[int64]int32),
 	}, nil
 }
@@ -288,6 +290,7 @@ func (s *StreamingClusterer) Run(cfg Config) (*StreamResult, error) {
 	defer s.mu.Unlock()
 	ex := parallel.NewPool(cfg.Workers)
 	params.Exec = ex
+	params.Arena = s.arena
 	cells, dirty, err := s.dyn.Snapshot(ex)
 	if err != nil {
 		return nil, err
