@@ -1,9 +1,12 @@
 package pdbscan
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pdbscan/internal/core"
 	"pdbscan/internal/geom"
@@ -44,13 +47,23 @@ type Clusterer struct {
 	// the arena across overlapping Runs is safe.
 	arena *core.Arena
 
-	builds atomic.Int32 // number of cell-structure builds (for tests)
+	statsMu   sync.Mutex
+	lastStats RunStats
+
+	builds atomic.Int32 // number of completed cell-structure builds (for tests)
 }
 
-// lazyCells builds a cell structure at most once.
+// lazyCells builds a cell structure at most once — unless a build is
+// cancelled, in which case the half-built structure is discarded and the
+// next run that needs the layout rebuilds it from scratch (which is why this
+// is explicit state rather than a sync.Once: a Once would latch the
+// cancelled build forever). While a build is in flight, `building` holds a
+// channel closed when it finishes, so waiting runs can select it against
+// their own cancellation instead of blocking unboundedly on the mutex.
 type lazyCells struct {
-	once  sync.Once
-	cells *grid.Cells
+	mu       sync.Mutex
+	building chan struct{} // non-nil while a build is in flight
+	cells    *grid.Cells
 }
 
 // NewClusterer prepares a Clusterer for the given coordinate rows (all rows
@@ -110,21 +123,6 @@ func validateBudgetConfig(cfg *Config) error {
 	return nil
 }
 
-// validateRunConfig checks the Config fields every Run-shaped entry point
-// (Clusterer.Run, StreamingClusterer.Run) must reject up front.
-func validateRunConfig(cfg *Config) error {
-	if cfg.MinPts < 1 {
-		return fmt.Errorf("pdbscan: MinPts must be >= 1, got %d", cfg.MinPts)
-	}
-	if err := validateBudgetConfig(cfg); err != nil {
-		return err
-	}
-	if cfg.Buckets < 0 {
-		return fmt.Errorf("pdbscan: Buckets must not be negative, got %d (0 selects the default of 32)", cfg.Buckets)
-	}
-	return nil
-}
-
 // resolveMethod maps cfg.Method (defaulting by dimension d) to the pipeline
 // strategies, reporting whether the 2D box layout is needed.
 func resolveMethod(d int, cfg *Config, params *core.Params) (useBox bool, err error) {
@@ -169,30 +167,87 @@ func resolveMethod(d int, cfg *Config, params *core.Params) (useBox bool, err er
 }
 
 // cellsFor returns the cell structure for the requested layout, building it
-// on first use with the given executor.
-func (c *Clusterer) cellsFor(useBox bool, ex *parallel.Pool) *grid.Cells {
+// on first use with the given executor. If the executor's context is
+// cancelled during (or before) the build, the half-built structure is
+// discarded, the context's error is returned, and the next run that needs
+// the layout rebuilds it. A run that arrives while another run's build is
+// in flight waits for that build — but selects the wait against its own
+// cancellation, so a cancelled waiter still returns promptly instead of
+// blocking for the duration of someone else's build.
+func (c *Clusterer) cellsFor(useBox bool, ex *parallel.Pool) (*grid.Cells, error) {
+	lc := &c.grid
 	if useBox {
-		c.box.once.Do(func() {
-			c.builds.Add(1)
-			cells := grid.BuildBox2D(ex, c.pts, c.eps)
-			cells.ComputeNeighborsBox2D(ex)
-			c.box.cells = cells
-		})
-		return c.box.cells
+		lc = &c.box
 	}
-	c.grid.once.Do(func() {
-		c.builds.Add(1)
-		cells := grid.BuildGrid(ex, c.pts, c.eps)
-		// Offset enumeration is cheap in low dimensions; the k-d tree wins
-		// once (2*ceil(sqrt(d))+1)^d explodes (Section 5.1).
-		if c.pts.D <= 3 {
-			cells.ComputeNeighborsEnum(ex)
-		} else {
-			cells.ComputeNeighborsKD(ex)
+	for {
+		lc.mu.Lock()
+		if lc.cells != nil {
+			cells := lc.cells
+			lc.mu.Unlock()
+			return cells, nil
 		}
-		c.grid.cells = cells
-	})
-	return c.grid.cells
+		if err := ex.Err(); err != nil {
+			lc.mu.Unlock()
+			return nil, err
+		}
+		if lc.building == nil {
+			// Claim the build. The lock is released while building (the
+			// build parallelizes on ex); done is closed when it settles.
+			// The settle runs in a defer so that a panic inside the build
+			// (surfaced as an error at the API boundary) still releases the
+			// build slot — otherwise every later run would deadlock on it.
+			done := make(chan struct{})
+			lc.building = done
+			lc.mu.Unlock()
+			var cells *grid.Cells
+			publish := false
+			defer func() {
+				lc.mu.Lock()
+				lc.building = nil
+				if publish {
+					lc.cells = cells
+					c.builds.Add(1)
+				}
+				lc.mu.Unlock()
+				close(done)
+			}()
+			cells = c.buildCells(useBox, ex)
+			// A build on a cancelled pool may have skipped parallel blocks,
+			// leaving the structure arbitrary; publish only clean builds.
+			if err := ex.Err(); err != nil {
+				return nil, err
+			}
+			publish = true
+			return cells, nil
+		}
+		done := lc.building
+		lc.mu.Unlock()
+		select {
+		case <-done:
+			// Re-check: the build either published (fast path above) or was
+			// cancelled by its owner (this run claims the rebuild).
+		case <-ex.Done():
+			return nil, ex.Err()
+		}
+	}
+}
+
+// buildCells constructs the requested layout's cell structure on ex.
+func (c *Clusterer) buildCells(useBox bool, ex *parallel.Pool) *grid.Cells {
+	if useBox {
+		cells := grid.BuildBox2D(ex, c.pts, c.eps)
+		cells.ComputeNeighborsBox2D(ex)
+		return cells
+	}
+	cells := grid.BuildGrid(ex, c.pts, c.eps)
+	// Offset enumeration is cheap in low dimensions; the k-d tree wins once
+	// (2*ceil(sqrt(d))+1)^d explodes (Section 5.1).
+	if c.pts.D <= 3 {
+		cells.ComputeNeighborsEnum(ex)
+	} else {
+		cells.ComputeNeighborsKD(ex)
+	}
+	return cells
 }
 
 // partitionFor returns the cached partition of the grid cells for the given
@@ -206,6 +261,10 @@ func (c *Clusterer) partitionFor(cells *grid.Cells, shards int, ex *parallel.Poo
 	}
 	p, err := grid.MakePartition(ex, cells, shards)
 	if err != nil {
+		return nil, err
+	}
+	// A partition cut on a cancelled pool may be arbitrary; never cache it.
+	if err := ex.Err(); err != nil {
 		return nil, err
 	}
 	if c.parts == nil {
@@ -222,7 +281,10 @@ func (c *Clusterer) partitionFor(cells *grid.Cells, shards int, ex *parallel.Poo
 // is deliberately narrow (Workers: 1) can call Prepare first so the
 // expensive construction still parallelizes. Calling Prepare when the
 // structure already exists is a no-op.
-func (c *Clusterer) Prepare(cfg Config) error {
+func (c *Clusterer) Prepare(cfg Config) (err error) {
+	// Same panic boundary as the run entry points: a worker panic during the
+	// eager build surfaces as an error, not a crash.
+	defer recoverRunPanic(context.Background(), &err)
 	if err := c.checkEps(cfg); err != nil {
 		return err
 	}
@@ -237,8 +299,8 @@ func (c *Clusterer) Prepare(cfg Config) error {
 	if resolveShards(&cfg, c.pts.N) > 1 {
 		useBox = false // a sharded Run will use the grid layout
 	}
-	c.cellsFor(useBox, parallel.NewPool(cfg.Workers))
-	return nil
+	_, err = c.cellsFor(useBox, parallel.NewPool(cfg.Workers))
+	return err
 }
 
 func (c *Clusterer) checkEps(cfg Config) error {
@@ -254,17 +316,42 @@ func (c *Clusterer) checkEps(cfg Config) error {
 // Run calls, even concurrent ones, never share parallelism state. The result
 // is identical to Cluster with the same Config.
 //
-// The cell structure is built lazily by the first Run that needs it, with
-// that Run's Workers budget; call Prepare to build it eagerly with a budget
-// of your choice.
+// Run is RunContext with a background (never-cancelled) context.
 func (c *Clusterer) Run(cfg Config) (*Result, error) {
+	return c.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: when ctx is cancelled (or its deadline
+// passes) while the run is in flight, the run stops cooperatively at the
+// next phase or cell boundary — promptly, without waiting for the clustering
+// to finish — and returns ctx.Err(). The Clusterer remains fully usable: the
+// run's pooled scratch is released in a reusable state, a cell structure
+// whose build was interrupted is discarded and rebuilt by the next run, and
+// the next uncancelled RunContext returns exactly what it would have had the
+// cancelled run never happened. Cancellation never corrupts results — a run
+// either completes and returns the same clustering Run would, or returns
+// ctx.Err() and no result.
+//
+// The cell structure is built lazily by the first run that needs it, with
+// that run's Workers budget; call Prepare to build it eagerly with a budget
+// of your choice.
+func (c *Clusterer) RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := c.checkEps(cfg); err != nil {
 		return nil, err
 	}
-	if err := validateRunConfig(&cfg); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ex := parallel.NewPool(cfg.Workers)
+	defer recoverRunPanic(ctx, &err)
+	start := time.Now()
+	ex := parallel.NewPoolContext(ctx, cfg.Workers)
+	var tm core.PhaseTimings
 	params := core.Params{
 		MinPts:    cfg.MinPts,
 		Rho:       cfg.Rho,
@@ -272,18 +359,23 @@ func (c *Clusterer) Run(cfg Config) (*Result, error) {
 		Buckets:   cfg.Buckets,
 		Exec:      ex,
 		Arena:     c.arena,
+		Timings:   &tm,
 	}
 	useBox, err := resolveMethod(c.pts.D, &cfg, &params)
 	if err != nil {
 		return nil, err
 	}
-	var res *core.Result
-	if shards := resolveShards(&cfg, c.pts.N); shards > 1 {
+	var cres *core.Result
+	shards := resolveShards(&cfg, c.pts.N)
+	if shards > 1 {
 		// The sharded path cuts the anchored lattice, so it always runs on
 		// the grid layout — 2d-box-* methods keep their connectivity
 		// strategy but are served by grid cells (identical clustering; see
 		// Config.Shards).
-		cells := c.cellsFor(false, ex)
+		cells, err := c.cellsFor(false, ex)
+		if err != nil {
+			return nil, err
+		}
 		part, err := c.partitionFor(cells, shards, ex)
 		if err != nil {
 			return nil, err
@@ -292,23 +384,77 @@ func (c *Clusterer) Run(cfg Config) (*Result, error) {
 			// The occupied lattice offered nothing to cut (a single slab on
 			// every axis); the monolithic phases parallelize better than a
 			// one-shard run would.
-			res, err = core.Run(cells, params)
+			shards = 1
+			cres, err = core.Run(cells, params)
 		} else {
-			res, err = core.RunSharded(cells, params, part)
+			shards = part.NumShards
+			cres, err = core.RunSharded(cells, params, part)
 		}
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		res, err = core.Run(c.cellsFor(useBox, ex), params)
+		cells, err := c.cellsFor(useBox, ex)
+		if err != nil {
+			return nil, err
+		}
+		cres, err = core.Run(cells, params)
 		if err != nil {
 			return nil, err
 		}
 	}
+	total := time.Since(start)
+	c.statsMu.Lock()
+	c.lastStats = RunStats{
+		MarkCore:    tm.Mark,
+		ClusterCore: tm.Collect + tm.Graph + tm.Merge,
+		Border:      tm.Label + tm.Border,
+		Build:       total - (tm.Mark + tm.Collect + tm.Graph + tm.Merge + tm.Label + tm.Border),
+		Total:       total,
+		Shards:      shards,
+		Workers:     ex.Workers(),
+	}
+	c.statsMu.Unlock()
 	return &Result{
-		Labels:      res.Labels,
-		Core:        res.Core,
-		Border:      res.Border,
-		NumClusters: res.NumClusters,
+		Labels:      cres.Labels,
+		Core:        cres.Core,
+		Border:      cres.Border,
+		NumClusters: cres.NumClusters,
 	}, nil
+}
+
+// LastRunStats returns the RunStats of the most recent completed (successful)
+// run on this Clusterer. Concurrent runs record their stats in completion
+// order; cancelled or failed runs record nothing.
+func (c *Clusterer) LastRunStats() RunStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.lastStats
+}
+
+// recoverRunPanic is the API-boundary panic handler of every run-shaped entry
+// point: a worker panic recovered by internal/parallel (or any panic on the
+// run's own goroutine) surfaces as an error instead of crashing the process.
+// On a cancelled context the panic is attributed to the cancellation — a
+// construct on a cancelled pool is allowed to skip blocks, and downstream
+// code that consumed such output before noticing the cancellation may fail
+// arbitrarily — and ctx.Err() is returned, which is the contract callers
+// already handle.
+func recoverRunPanic(ctx context.Context, err *error) {
+	if r := recover(); r != nil {
+		*err = runPanicError(ctx, r)
+	}
+}
+
+// runPanicError classifies a recovered run panic into the error the API
+// returns (shared by the batch and streaming boundary handlers, so the
+// attribution rules cannot diverge).
+func runPanicError(ctx context.Context, r any) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if pe, ok := r.(*parallel.PanicError); ok {
+		return fmt.Errorf("pdbscan: %w", pe)
+	}
+	return fmt.Errorf("pdbscan: internal panic: %v\n%s", r, debug.Stack())
 }

@@ -7,11 +7,16 @@
 //
 // Usage:
 //
-//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-strict]
+//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-serve BENCH_serve.json] [-strict]
 //
 // A metric regresses when it drops more than 10% below the committed
 // baseline, or below the absolute floor the optimization was accepted at
-// (1.3x clustering-phase speedup, 5x allocation reduction). Warnings
+// (1.3x clustering-phase speedup, 5x allocation reduction). With -serve it
+// additionally gates the serving-path report: mid-run cancellation latency
+// must stay under its 50ms acceptance floor, every cancelled run's recovery
+// must have been label-permutation-equal to the baseline, and the Engine's
+// sampled worker usage must never have exceeded its budget (the last two are
+// hard errors — they are correctness invariants, not performance). Warnings
 // annotate the PR; -strict turns them into errors and a non-zero exit.
 package main
 
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 // hotHeadline is the subset of the BENCH_hot.json schema the gate reads.
@@ -29,17 +35,29 @@ type hotHeadline struct {
 	HeadlineAllocRatio    float64 `json:"headline_alloc_ratio"`
 }
 
+// serveHeadline is the subset of the BENCH_serve.json schema the gate reads.
+type serveHeadline struct {
+	N                   int   `json:"n"`
+	CancelLatencyMaxNS  int64 `json:"cancel_latency_max_ns"`
+	CancelledMidCluster int   `json:"cancelled_mid_cluster"`
+	RecoveredEqual      bool  `json:"recovered_equal"`
+	BudgetConformant    bool  `json:"budget_conformant"`
+}
+
 // Acceptance floors of the hot-path optimization, with the 10% regression
-// grace applied by the caller.
+// grace applied by the caller; and of the serving path (cancellation
+// latency, absolute — it is a latency budget, not a host-relative ratio).
 const (
-	floorSpeedup    = 1.3
-	floorAllocRatio = 5.0
-	grace           = 0.9 // >10% below a reference counts as a regression
+	floorSpeedup       = 1.3
+	floorAllocRatio    = 5.0
+	grace              = 0.9 // >10% below a reference counts as a regression
+	floorCancelLatency = 50 * time.Millisecond
 )
 
 func main() {
 	freshPath := flag.String("fresh", "BENCH_hot.json", "freshly generated report to check")
 	basePath := flag.String("baseline", "", "committed baseline report to compare against (optional)")
+	servePath := flag.String("serve", "", "freshly generated BENCH_serve.json to gate (optional)")
 	strict := flag.Bool("strict", false, "exit non-zero (and annotate as errors) on regression")
 	flag.Parse()
 
@@ -78,13 +96,61 @@ func main() {
 		}
 	}
 
-	if !regressed {
+	hardFail := false
+	if *servePath != "" {
+		serve, err := readServe(*servePath)
+		if err != nil {
+			fmt.Printf("::error ::benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		// Correctness invariants: hard errors regardless of -strict.
+		if !serve.RecoveredEqual {
+			fmt.Println("::error ::serve: a run after a cancelled run diverged from the baseline (recovered_equal=false)")
+			hardFail = true
+		}
+		if !serve.BudgetConformant {
+			fmt.Println("::error ::serve: engine worker usage exceeded the shared budget (budget_conformant=false)")
+			hardFail = true
+		}
+		switch {
+		case serve.CancelledMidCluster == 0:
+			fmt.Printf("::notice ::serve: no trial was cancelled mid-run at n=%d; latency floor not exercised\n", serve.N)
+		case time.Duration(serve.CancelLatencyMaxNS) > floorCancelLatency:
+			level := "warning"
+			if *strict {
+				level = "error"
+			}
+			regressed = true
+			fmt.Printf("::%s ::serve: cancellation latency max %v exceeds the %v acceptance floor\n",
+				level, time.Duration(serve.CancelLatencyMaxNS), floorCancelLatency)
+		default:
+			fmt.Printf("benchgate: serve ok (cancel latency max %v <= %v over %d trials, recovery equal, budget conformant)\n",
+				time.Duration(serve.CancelLatencyMaxNS), floorCancelLatency, serve.CancelledMidCluster)
+		}
+	}
+
+	if !regressed && !hardFail {
 		fmt.Printf("benchgate: ok (speedup %.2fx >= %.2f, alloc ratio %.1fx >= %.1f)\n",
 			fresh.Headline2DGridSpeedup, floorSpeedup*grace, fresh.HeadlineAllocRatio, floorAllocRatio*grace)
 	}
-	if regressed && *strict {
+	if hardFail || (regressed && *strict) {
 		os.Exit(1)
 	}
+}
+
+func readServe(path string) (*serveHeadline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s serveHeadline
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.N == 0 {
+		return nil, fmt.Errorf("%s: missing serve metrics", path)
+	}
+	return &s, nil
 }
 
 func readHeadline(path string) (*hotHeadline, error) {

@@ -44,6 +44,7 @@ var experiments = map[string]struct {
 	"stream":   {"sliding-window streaming ticks: incremental vs from-scratch (-json records BENCH_stream.json)", expStream},
 	"shard":    {"sharded partition/merge path vs monolithic (-json records BENCH_shard.json)", expShard},
 	"hot":      {"clustering-phase hot path: specialized kernels + arena vs generic fallback (-json records BENCH_hot.json)", expHot},
+	"serve":    {"serving path: cancellation latency mid-run + Engine throughput under mixed jobs (-json records BENCH_serve.json)", expServe},
 }
 
 func main() {

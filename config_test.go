@@ -1,0 +1,99 @@
+package pdbscan
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestConfigValidateTable exercises the exported Config.Validate directly:
+// every invalid field is rejected with a message naming the field, and every
+// valid shape passes. This is the pre-queue validation services apply before
+// paying to schedule a request (shared by Cluster, Clusterer.Run/RunContext,
+// StreamingClusterer.Run/RunContext, and engine.Engine.Submit).
+func TestConfigValidateTable(t *testing.T) {
+	valid := Config{Eps: 2, MinPts: 5}
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string // expected substring of the error; "" = valid
+	}{
+		{"valid minimal", func(c *Config) {}, ""},
+		{"valid zero eps (deferred)", func(c *Config) { c.Eps = 0 }, ""},
+		{"valid auto method", func(c *Config) { c.Method = MethodAuto }, ""},
+		{"valid every method", func(c *Config) { c.Method = Method2DBoxDelaunay }, ""},
+		{"valid rho", func(c *Config) { c.Method = MethodApprox; c.Rho = 0.1 }, ""},
+		{"valid workers/shards/buckets", func(c *Config) { c.Workers = 4; c.Shards = 7; c.Buckets = 8; c.Bucketing = true }, ""},
+
+		{"negative eps", func(c *Config) { c.Eps = -1 }, "Eps"},
+		{"NaN eps", func(c *Config) { c.Eps = math.NaN() }, "Eps"},
+		{"Inf eps", func(c *Config) { c.Eps = math.Inf(1) }, "Eps"},
+		{"zero minpts", func(c *Config) { c.MinPts = 0 }, "MinPts"},
+		{"negative minpts", func(c *Config) { c.MinPts = -3 }, "MinPts"},
+		{"unknown method", func(c *Config) { c.Method = "bogus" }, "method"},
+		{"negative rho", func(c *Config) { c.Rho = -0.5 }, "Rho"},
+		{"NaN rho", func(c *Config) { c.Rho = math.NaN() }, "Rho"},
+		{"Inf rho", func(c *Config) { c.Rho = math.Inf(-1) }, "Rho"},
+		{"negative workers", func(c *Config) { c.Workers = -1 }, "Workers"},
+		{"negative shards", func(c *Config) { c.Shards = -2 }, "Shards"},
+		{"negative buckets", func(c *Config) { c.Buckets = -1 }, "Buckets"},
+	}
+	for _, tc := range cases {
+		cfg := valid
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if tc.field == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: Validate() accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%s: error %q does not name field %q", tc.name, err, tc.field)
+		}
+	}
+}
+
+// TestValidateMatchesRunRejection pins that a Config rejected by Validate is
+// rejected by the run paths too (same up-front check), so pre-validating
+// callers never queue a job the run would bounce.
+func TestValidateMatchesRunRejection(t *testing.T) {
+	rows := blobs(60, 2, 19)
+	bad := []Config{
+		{Eps: 2, MinPts: 0},
+		{Eps: 2, MinPts: 5, Method: "bogus"},
+		{Eps: 2, MinPts: 5, Rho: -1},
+		{Eps: 2, MinPts: 5, Workers: -1},
+		{Eps: 2, MinPts: 5, Shards: -1},
+		{Eps: 2, MinPts: 5, Buckets: -1},
+	}
+	c, err := NewClusterer(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamingClusterer(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Fatalf("case %d: Validate accepted a bad config", i)
+		}
+		if _, err := Cluster(rows, cfg); err == nil {
+			t.Errorf("case %d: Cluster accepted", i)
+		}
+		if _, err := c.Run(cfg); err == nil {
+			t.Errorf("case %d: Clusterer.Run accepted", i)
+		}
+		if _, err := s.Run(cfg); err == nil {
+			t.Errorf("case %d: StreamingClusterer.Run accepted", i)
+		}
+	}
+}

@@ -38,8 +38,10 @@
 package pdbscan
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"pdbscan/internal/grid"
 	"pdbscan/internal/parallel"
@@ -171,6 +173,43 @@ type Config struct {
 	Shards int
 }
 
+// Validate checks every Config field for structural validity: the value
+// ranges that hold for any run, independent of the data's dimensionality or
+// the Clusterer's eps. It is the exact validation every run-shaped entry
+// point (Cluster, Clusterer.Run/RunContext, StreamingClusterer.Run/
+// RunContext, engine.Engine.Submit) applies up front, exported so that a
+// service can reject a bad request before paying to queue or schedule it.
+//
+// Eps = 0 is valid here (it means "the Clusterer's eps" on the Clusterer
+// entry points; Cluster itself additionally requires Eps > 0, as does
+// NewClusterer). Dimensionality-dependent rules (the 2D-only methods) are
+// still checked by the run itself, which knows the points.
+func (cfg *Config) Validate() error {
+	if math.IsNaN(cfg.Eps) || math.IsInf(cfg.Eps, 0) || cfg.Eps < 0 {
+		return fmt.Errorf("pdbscan: Eps must be finite and >= 0, got %v (0 defers to the Clusterer's eps)", cfg.Eps)
+	}
+	if cfg.MinPts < 1 {
+		return fmt.Errorf("pdbscan: MinPts must be >= 1, got %d", cfg.MinPts)
+	}
+	switch cfg.Method {
+	case "", MethodAuto, MethodExact, MethodExactQt, MethodApprox, MethodApproxQt,
+		Method2DGridBCP, Method2DGridUSEC, Method2DGridDelaunay,
+		Method2DBoxBCP, Method2DBoxUSEC, Method2DBoxDelaunay:
+	default:
+		return fmt.Errorf("pdbscan: unknown method %q", cfg.Method)
+	}
+	if math.IsNaN(cfg.Rho) || math.IsInf(cfg.Rho, 0) || cfg.Rho < 0 {
+		return fmt.Errorf("pdbscan: Rho must be finite and >= 0, got %v (0 selects the default of 0.01 for approximate methods)", cfg.Rho)
+	}
+	if err := validateBudgetConfig(cfg); err != nil {
+		return err
+	}
+	if cfg.Buckets < 0 {
+		return fmt.Errorf("pdbscan: Buckets must not be negative, got %d (0 selects the default of 32)", cfg.Buckets)
+	}
+	return nil
+}
+
 // autoShardPoints is the point count one auto-selected shard targets: small
 // enough that multi-million-point inputs decompose well past the worker
 // count, large enough that per-shard bookkeeping never dominates.
@@ -255,20 +294,60 @@ func (r *Result) CoreOnlyLabels() []int32 {
 // to run several configurations over the same points at one Eps (a MinPts,
 // Method, or Rho sweep), create a Clusterer once and call Run repeatedly.
 func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	return ClusterContext(context.Background(), points, cfg)
+}
+
+// ClusterContext is Cluster under a context: the run stops cooperatively and
+// returns ctx.Err() when ctx is cancelled mid-flight (see
+// Clusterer.RunContext for the exact semantics).
+func ClusterContext(ctx context.Context, points [][]float64, cfg Config) (*Result, error) {
 	c, err := NewClusterer(points, cfg.Eps)
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(cfg)
+	return c.RunContext(ctx, cfg)
 }
 
 // ClusterFlat runs DBSCAN over n = len(data)/dims points stored row-major in
 // a flat slice, avoiding the copy of Cluster. data must not be mutated while
 // clustering runs.
 func ClusterFlat(data []float64, dims int, cfg Config) (*Result, error) {
+	return ClusterFlatContext(context.Background(), data, dims, cfg)
+}
+
+// ClusterFlatContext is ClusterFlat under a context (see Clusterer.RunContext
+// for the cancellation semantics).
+func ClusterFlatContext(ctx context.Context, data []float64, dims int, cfg Config) (*Result, error) {
 	c, err := NewClustererFlat(data, dims, cfg.Eps)
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(cfg)
+	return c.RunContext(ctx, cfg)
+}
+
+// RunStats reports the phase breakdown of a batch run (Clusterer.Run or
+// RunContext), retrievable with Clusterer.LastRunStats. Durations are
+// wall-clock; phases overlap nothing, so Build + MarkCore + ClusterCore +
+// Border ~= Total (Build absorbs structure construction, partitioning, and
+// the run's fixed bookkeeping, and is near zero once the eps-keyed cell
+// structure is cached).
+type RunStats struct {
+	// Build is the time this run spent outside the pipeline phases: cell
+	// structure construction (first run per layout only), partition cuts,
+	// validation, and result assembly.
+	Build time.Duration
+	// MarkCore is Algorithm 2 (core-point marking).
+	MarkCore time.Duration
+	// ClusterCore covers core collection, the cell graph (Algorithm 3), and
+	// — on sharded runs — the boundary merge.
+	ClusterCore time.Duration
+	// Border covers dense label assignment and ClusterBorder (Algorithm 4).
+	Border time.Duration
+	// Total is the end-to-end wall time of the run.
+	Total time.Duration
+	// Shards is the effective shard count the run executed with (1 =
+	// monolithic).
+	Shards int
+	// Workers is the effective worker budget of the run.
+	Workers int
 }

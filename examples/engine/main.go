@@ -1,0 +1,141 @@
+// Engine: multi-tenant serving of clustering jobs. This example multiplexes
+// two workloads through one engine.Engine sharing one worker budget — the
+// deployment shape of a clustering service where parameter sweeps from
+// interactive users compete with latency-bound sensor ticks:
+//
+//  1. a MinPts sweep over a prepared Clusterer (one batch job per MinPts,
+//     each with a modest Workers cap, so the sweep saturates the budget
+//     without monopolizing it), and
+//  2. a streaming sliding window ticking at higher priority, each tick
+//     submitted with a per-job deadline — if the engine cannot schedule and
+//     finish a tick in time, the tick is cancelled (promptly, mid-run if
+//     needed) instead of stalling the sensor loop.
+//
+// The engine guarantees the running jobs' Workers caps never sum past the
+// budget, queues overflow FIFO-within-priority, and rejects what would wait
+// too long — the stats printed at the end show all of it.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"pdbscan"
+	"pdbscan/engine"
+	"pdbscan/internal/dataset"
+)
+
+func main() {
+	const (
+		n      = 200000
+		window = 20000
+		eps    = 1000.0
+	)
+	budget := runtime.GOMAXPROCS(0)
+	e := engine.New(engine.Options{
+		Budget:       budget,
+		MaxQueue:     32,
+		QueueTimeout: 10 * time.Second,
+	})
+	defer e.Close()
+	fmt.Printf("engine: budget %d workers, queue 32, queue timeout 10s\n\n", budget)
+
+	// Tenant 1: a MinPts sweep over one prepared batch Clusterer. The cell
+	// structure is built once (Prepare) and shared by every job.
+	pts := dataset.SeedSpreader(dataset.SeedSpreaderConfig{N: n, D: 2, Seed: 3})
+	c, err := pdbscan.NewClustererFlat(pts.Data, pts.D, eps)
+	if err != nil {
+		panic(err)
+	}
+	if err := c.Prepare(pdbscan.Config{}); err != nil {
+		panic(err)
+	}
+	sweep := []int{20, 50, 100, 200, 400, 800}
+	sweepJobs := make([]*engine.Job, 0, len(sweep))
+	for i, minPts := range sweep {
+		workers := 1 + i%2 // modest caps: the sweep shares, not monopolizes
+		j, err := e.Submit(context.Background(), engine.Request{
+			Clusterer: c,
+			Config:    pdbscan.Config{MinPts: minPts, Workers: workers},
+			Priority:  0,
+		})
+		if err != nil {
+			panic(err)
+		}
+		sweepJobs = append(sweepJobs, j)
+	}
+
+	// Tenant 2: a streaming window ticking at higher priority with a
+	// deadline per tick.
+	stream := dataset.DriftStream(dataset.DriftStreamConfig{N: window * 2, D: 2, Seed: 7})
+	s, err := pdbscan.NewStreamingClusterer(2, eps)
+	if err != nil {
+		panic(err)
+	}
+	rows := make([][]float64, stream.N)
+	for i := range rows {
+		rows[i] = stream.At(i)
+	}
+	if _, err := s.Insert(rows[:window]); err != nil {
+		panic(err)
+	}
+	const ticks = 5
+	batch := window / 20
+	next := window
+	fmt.Printf("%-6s %-10s %-10s %-10s %s\n", "tick", "queued", "run", "clusters", "outcome")
+	for tick := 0; tick < ticks; tick++ {
+		if _, err := s.Insert(rows[next : next+batch]); err != nil {
+			panic(err)
+		}
+		next += batch
+		s.Window(window)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		j, err := e.Submit(ctx, engine.Request{
+			Streaming: s,
+			Config:    pdbscan.Config{MinPts: 100, Workers: budget},
+			Priority:  10, // sensor ticks outrank sweep points
+		})
+		if err != nil {
+			cancel()
+			fmt.Printf("%-6d tick rejected: %v\n", tick, err)
+			continue
+		}
+		res, err := j.StreamResult()
+		st := j.Stats()
+		switch {
+		case err == nil:
+			fmt.Printf("%-6d %-10v %-10v %-10d ok\n",
+				tick, st.Queued.Round(time.Microsecond), st.Run.Round(time.Microsecond), res.NumClusters)
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Printf("%-6d %-10v %-10v %-10s missed its deadline, cancelled mid-run\n",
+				tick, st.Queued.Round(time.Microsecond), st.Run.Round(time.Microsecond), "-")
+		default:
+			fmt.Printf("%-6d tick failed: %v\n", tick, err)
+		}
+		cancel()
+	}
+
+	// Harvest the sweep.
+	fmt.Printf("\n%-8s %-9s %-10s %-10s %-10s %s\n", "minPts", "workers", "queued", "run", "clusters", "noise%")
+	for i, j := range sweepJobs {
+		res, err := j.Result()
+		if err != nil {
+			fmt.Printf("%-8d sweep job failed: %v\n", sweep[i], err)
+			continue
+		}
+		st := j.Stats()
+		fmt.Printf("%-8d %-9d %-10v %-10v %-10d %.1f\n",
+			sweep[i], st.Workers,
+			st.Queued.Round(time.Millisecond), st.Run.Round(time.Millisecond),
+			res.NumClusters, 100*float64(res.NumNoise())/float64(n))
+	}
+
+	stats := e.Stats()
+	fmt.Printf("\nengine stats: %d submitted, %d completed, %d cancelled, %d rejected, %d timed out\n",
+		stats.Submitted, stats.Completed, stats.Cancelled, stats.Rejected, stats.TimedOut)
+	fmt.Printf("budget %d; %d workers in use at exit\n", stats.Budget, stats.WorkersInUse)
+}

@@ -24,6 +24,9 @@ func (st *pipeline) clusterBorder(labels []int32, numClusters int) map[int32][]i
 		var multiP []int32   // border points in 2+ clusters found by this block
 		var multiM [][]int32 // their membership lists (freshly allocated)
 		for g := lo; g < hi; g++ {
+			if st.cancelled() {
+				break // partial labels; the run bails before returning them
+			}
 			if c.CellSize(g) >= st.p.MinPts {
 				continue // all points are core
 			}

@@ -53,6 +53,9 @@ func (st *pipeline) clusterCore() {
 		}
 		bsize := (len(order) + nb - 1) / nb
 		for lo := 0; lo < len(order); lo += bsize {
+			if st.cancelled() {
+				return // partial union-find; Run bails at the phase boundary
+			}
 			hi := lo + bsize
 			if hi > len(order) {
 				hi = len(order)
@@ -61,6 +64,9 @@ func (st *pipeline) clusterCore() {
 			st.ex.BlockedFor(len(batch), 1, func(lo, hi int) {
 				ws := st.getWS()
 				for i := lo; i < hi; i++ {
+					if st.cancelled() {
+						break
+					}
 					process(batch[i], ws)
 				}
 				st.putWS(ws)
@@ -70,6 +76,9 @@ func (st *pipeline) clusterCore() {
 		st.ex.BlockedFor(len(order), 1, func(lo, hi int) {
 			ws := st.getWS()
 			for i := lo; i < hi; i++ {
+				if st.cancelled() {
+					break
+				}
 				process(order[i], ws)
 			}
 			st.putWS(ws)
@@ -221,7 +230,9 @@ func (st *pipeline) delaunayUnion(cellList []int32) {
 	for _, g := range cellList {
 		total += len(st.corePts[g])
 	}
-	if total == 0 {
+	if total == 0 || st.cancelled() {
+		// A triangulation is a whole-computation step with no per-cell
+		// boundary to stop at; skip it outright on a cancelled run.
 		return
 	}
 	all := make([]int32, 0, total)

@@ -153,7 +153,23 @@ func RunIncremental(cells *grid.Cells, p Params, inc *Incremental, dirty *grid.D
 	st := newPipeline(cells, p)
 	defer st.release()
 
+	// Cancellation boundary: a cancelled incremental run leaves inc's caches
+	// half-absorbed (flags, lists, and edges are updated in place), so the
+	// cache is poisoned before the error returns — the owner either drops it
+	// (StreamingClusterer replaces a failed run's cache) or the next run sees
+	// Fresh() and recomputes everything. Either way no stale entry survives.
+	boundary := func(name string) error {
+		err := st.phase(name)
+		if err != nil {
+			inc.valid = false
+		}
+		return err
+	}
+
 	// MarkCore, restricted to core-dirty cells over the cached flags.
+	if err := boundary("mark"); err != nil {
+		return nil, err
+	}
 	if len(inc.coreFlags) < n {
 		inc.coreFlags = append(inc.coreFlags, make([]bool, n-len(inc.coreFlags))...)
 	}
@@ -171,6 +187,9 @@ func RunIncremental(cells *grid.Cells, p Params, inc *Incremental, dirty *grid.D
 	st.ex.BlockedFor(numCells, 1, func(lo, hi int) {
 		ws := st.getWS()
 		for g := lo; g < hi; g++ {
+			if st.cancelled() {
+				break
+			}
 			if (allDirty || affected[g]) && cells.CellSize(g) > 0 {
 				st.markCellCore(g, ws)
 			}
@@ -178,10 +197,25 @@ func RunIncremental(cells *grid.Cells, p Params, inc *Incremental, dirty *grid.D
 		st.putWS(ws)
 	})
 
+	if err := boundary("collect"); err != nil {
+		return nil, err
+	}
 	st.collectCoreIncremental(inc, allDirty, affected)
+	if err := boundary("graph"); err != nil {
+		return nil, err
+	}
 	st.clusterCoreIncremental(inc, kind, allDirty, affected)
+	if err := boundary("label"); err != nil {
+		return nil, err
+	}
 	labels, numClusters := st.coreLabels()
+	if err := boundary("border"); err != nil {
+		return nil, err
+	}
 	border := st.clusterBorder(labels, numClusters)
+	if err := boundary("done"); err != nil {
+		return nil, err
+	}
 
 	// Harvest the caches for the next run.
 	inc.valid = true
@@ -321,6 +355,9 @@ func (st *pipeline) clusterCoreIncremental(inc *Incremental, kind GraphStrategy,
 		ws := st.getWS()
 		defer st.putWS(ws)
 		for i := blo; i < bhi; i++ {
+			if st.cancelled() {
+				break // partial edge table; RunIncremental poisons the cache
+			}
 			g := st.coreCells[i]
 			// A clean cell's cached entry list is aligned with its (unchanged,
 			// sorted) neighbor list: walk the two in lockstep. An entry whose h

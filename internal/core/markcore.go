@@ -17,6 +17,9 @@ func (st *pipeline) markCore() {
 	st.ex.BlockedFor(numCells, 1, func(lo, hi int) {
 		ws := st.getWS()
 		for g := lo; g < hi; g++ {
+			if st.cancelled() {
+				break // partial flags; Run bails at the next phase boundary
+			}
 			st.markCellCore(g, ws)
 		}
 		st.putWS(ws)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"pdbscan/internal/geom"
 	"pdbscan/internal/grid"
@@ -83,6 +84,32 @@ type Params struct {
 	// specialized, so tree-heavy configurations (exact-qt, approx) measure
 	// mostly the arena, not the kernel, under this flag.
 	ForceGenericKernel bool
+
+	// Timings, when non-nil, receives the wall-clock duration of each
+	// pipeline phase of the run (the observability seam RunStats is built
+	// on). Written once, at phase completion, by the run's own goroutine.
+	Timings *PhaseTimings
+
+	// PhaseHook, when non-nil, is called on the run's goroutine at the start
+	// of each pipeline phase with the phase's name: "mark", "collect",
+	// "graph", "merge" (sharded only), "label", "border". It exists for
+	// observability and for tests that need a deterministic point inside a
+	// run (the cancellation suite cancels a context from it); it must be
+	// cheap and must not mutate pipeline state.
+	PhaseHook func(phase string)
+}
+
+// PhaseTimings records how long each pipeline phase of one run took. The
+// sharded path reports its per-shard mark+collect pass as Mark, its
+// intra-shard graph pass as Graph, and its boundary pass as Merge; the
+// monolithic and incremental paths leave Merge zero.
+type PhaseTimings struct {
+	Mark    time.Duration // MarkCore (Algorithm 2)
+	Collect time.Duration // per-cell core lists, boxes, core-cell set
+	Graph   time.Duration // ClusterCore cell graph (Algorithm 3)
+	Merge   time.Duration // sharded boundary merge (RunSharded only)
+	Label   time.Duration // dense label assignment
+	Border  time.Duration // ClusterBorder (Algorithm 4)
 }
 
 // Result is the clustering output.
@@ -111,6 +138,12 @@ type pipeline struct {
 
 	arena *Arena      // == p.Arena (nil: no pooling)
 	rs    *runScratch // this run's checked-out scratch; returned by release
+
+	// Phase timing cursor: phaseDur (a field of p.Timings, nil when timings
+	// are off) receives the elapsed time since phaseT0 at the next phase
+	// transition.
+	phaseT0  time.Time
+	phaseDur *time.Duration
 
 	coreFlags []bool
 	corePts   [][]int32 // per cell: indices of its core points
@@ -196,19 +229,81 @@ func (st *pipeline) initUF(numCells int) {
 	st.uf = &st.rs.uf
 }
 
+// cancelled reports whether the run's executor context is done (the
+// per-cell cooperative check of the phase loops; an atomic load on the fast
+// path).
+func (st *pipeline) cancelled() bool { return st.ex.Cancelled() }
+
+// phase announces a phase transition: it stamps the previous phase's
+// duration into Timings, fires the PhaseHook, and reports the executor
+// context's error — the pipeline's cancellation boundary. Each phase
+// function runs only when the boundary before it is clean, so a cancelled
+// run unwinds after at most one phase's grain of work, with every output
+// left unconsumed. "done" closes the last phase without opening a new one.
+func (st *pipeline) phase(name string) error {
+	now := time.Now()
+	if st.phaseDur != nil {
+		*st.phaseDur = now.Sub(st.phaseT0)
+	}
+	st.phaseT0 = now
+	st.phaseDur = nil
+	if tm := st.p.Timings; tm != nil {
+		switch name {
+		case "mark":
+			st.phaseDur = &tm.Mark
+		case "collect":
+			st.phaseDur = &tm.Collect
+		case "graph":
+			st.phaseDur = &tm.Graph
+		case "merge":
+			st.phaseDur = &tm.Merge
+		case "label":
+			st.phaseDur = &tm.Label
+		case "border":
+			st.phaseDur = &tm.Border
+		}
+	}
+	if st.p.PhaseHook != nil {
+		st.p.PhaseHook(name)
+	}
+	return st.ex.Err()
+}
+
 // Run executes the full pipeline on prepared cells (Neighbors must have been
-// computed).
+// computed). If the executor pool carries a cancelled context — or the
+// context is cancelled while the run is in flight — Run stops at the next
+// phase or cell boundary and returns the context's error; the partial state
+// stays inside the run's arena scratch, which the release leaves ready for
+// the owner's next run.
 func Run(cells *grid.Cells, p Params) (*Result, error) {
 	if err := validateParams(cells, &p); err != nil {
 		return nil, err
 	}
 	st := newPipeline(cells, p)
 	defer st.release()
+	if err := st.phase("mark"); err != nil {
+		return nil, err
+	}
 	st.markCore()
+	if err := st.phase("collect"); err != nil {
+		return nil, err
+	}
 	st.collectCore()
+	if err := st.phase("graph"); err != nil {
+		return nil, err
+	}
 	st.clusterCore()
+	if err := st.phase("label"); err != nil {
+		return nil, err
+	}
 	labels, numClusters := st.coreLabels()
+	if err := st.phase("border"); err != nil {
+		return nil, err
+	}
 	border := st.clusterBorder(labels, numClusters)
+	if err := st.phase("done"); err != nil {
+		return nil, err
+	}
 	return &Result{
 		Core:        st.coreFlags,
 		Labels:      labels,

@@ -54,6 +54,9 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 	// cell. Marking reads the points of neighbor cells wherever they live
 	// (halo reads are the only cross-shard traffic, and they are read-only);
 	// collection touches only the cell's own flags, set just before.
+	if err := st.phase("mark"); err != nil {
+		return nil, err
+	}
 	st.coreFlags = make([]bool, cells.Pts.N) // escapes into Result.Core
 	if st.p.Mark == MarkQuadtree {
 		st.rs.allTrees = lazyTreeBuf(st.rs.allTrees, numCells)
@@ -63,9 +66,15 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 	st.ex.ForGrain(part.NumShards, 1, func(s int) {
 		ws := st.getWS()
 		for _, g := range part.Owned[s] {
+			if st.cancelled() {
+				break
+			}
 			st.markCellCore(int(g), ws)
 		}
 		for _, g := range part.Owned[s] {
+			if st.cancelled() {
+				break
+			}
 			st.collectCellCore(int(g))
 		}
 		st.putWS(ws)
@@ -77,6 +86,9 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 	// Phase 2 — per shard: intra-shard cell graph. Unions stay within the
 	// shard's owned cells, so shards never contend; the union-find is global
 	// only so phase 3 can link across shards without re-indexing.
+	if err := st.phase("graph"); err != nil {
+		return nil, err
+	}
 	st.initUF(numCells)
 	var connect connectFunc
 	if st.p.Graph == GraphDelaunay {
@@ -95,9 +107,15 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 	// evaluates each pair (same dedup rule as the monolithic traversal), so
 	// every cross edge is examined exactly once, by the owner of its higher
 	// cell. Cross-shard unions on the lock-free union-find are safe.
+	if err := st.phase("merge"); err != nil {
+		return nil, err
+	}
 	st.ex.ForGrain(part.NumShards, 1, func(s int) {
 		ws := st.getWS()
 		for _, g := range part.Boundary[s] {
+			if st.cancelled() {
+				break
+			}
 			if len(st.corePts[g]) == 0 {
 				continue
 			}
@@ -111,8 +129,17 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 		st.putWS(ws)
 	})
 
+	if err := st.phase("label"); err != nil {
+		return nil, err
+	}
 	labels, numClusters := st.coreLabels()
+	if err := st.phase("border"); err != nil {
+		return nil, err
+	}
 	border := st.clusterBorder(labels, numClusters)
+	if err := st.phase("done"); err != nil {
+		return nil, err
+	}
 	return &Result{
 		Core:        st.coreFlags,
 		Labels:      labels,
@@ -155,6 +182,9 @@ func (st *pipeline) clusterShard(part *grid.Partition, s int, connect connectFun
 		return 0
 	})
 	for _, g := range order {
+		if st.cancelled() {
+			return
+		}
 		for _, h := range st.cells.Neighbors[g] {
 			if h >= g || part.ShardOf[h] != int32(s) {
 				continue

@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolContextPlain(t *testing.T) {
+	// Background contexts carry no cancellation; the pool must degrade to a
+	// plain budget pool (nil for the default budget, alloc-free).
+	if p := NewPoolContext(context.Background(), 0); p != nil {
+		t.Fatalf("NewPoolContext(Background, 0) = %v, want nil", p)
+	}
+	p := NewPoolContext(context.Background(), 3)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers = %d, want 3", p.Workers())
+	}
+	if p.Cancelled() || p.Err() != nil {
+		t.Fatal("background pool reports cancelled")
+	}
+	if NewPoolContext(nil, 2).Workers() != 2 {
+		t.Fatal("nil ctx not treated as background")
+	}
+}
+
+func TestPoolContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPoolContext(ctx, 4)
+	if p.Cancelled() || p.Err() != nil {
+		t.Fatal("pool cancelled before ctx")
+	}
+	if p.Workers() != 4 {
+		t.Fatalf("Workers = %d, want 4", p.Workers())
+	}
+	cancel()
+	if !p.Cancelled() {
+		t.Fatal("pool not cancelled after ctx cancel")
+	}
+	if !errors.Is(p.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", p.Err())
+	}
+	// Pre-cancelled pools skip whole constructs.
+	ran := atomic.Int64{}
+	p.BlockedFor(100000, 1, func(lo, hi int) { ran.Add(1) })
+	p.BlockedForIdx(100000, 1, func(b, lo, hi int) { ran.Add(1) })
+	p.For(100000, func(i int) { ran.Add(1) })
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("cancelled pool ran %d bodies, want 0", got)
+	}
+}
+
+func TestForGrainStopsMidLoop(t *testing.T) {
+	// Cancel from inside the element loop: the remaining iterations of every
+	// block must stop within one cancellation stride.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPoolContext(ctx, 4)
+	const n = 1 << 20
+	var ran atomic.Int64
+	p.For(n, func(i int) {
+		if ran.Add(1) == 100 {
+			cancel()
+		}
+	})
+	if got := ran.Load(); got >= n {
+		t.Fatalf("loop ran all %d iterations despite cancellation", got)
+	}
+}
+
+func TestWorkerPanicIsWrapped(t *testing.T) {
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", r, r)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("PanicError.Value = %v, want boom", pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "boom") || len(pe.Stack) == 0 {
+			t.Fatalf("PanicError carries no useful context: %v", pe.Error())
+		}
+	}()
+	NewPool(4).BlockedFor(1<<16, 1, func(lo, hi int) {
+		if lo > 0 {
+			panic("boom") // panic off the caller's goroutine
+		}
+	})
+	t.Fatal("BlockedFor returned despite worker panic")
+}
+
+func TestNestedWorkerPanicKeepsInnerStack(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatal("want *PanicError")
+		}
+		if pe.Value != "inner" {
+			t.Fatalf("Value = %v, want inner", pe.Value)
+		}
+	}()
+	p := NewPool(4)
+	p.BlockedFor(1<<16, 1, func(lo, hi int) {
+		p.BlockedFor(1<<16, 1, func(lo2, hi2 int) {
+			if lo2 > 0 && lo > 0 {
+				panic("inner")
+			}
+		})
+	})
+	t.Fatal("nested BlockedFor returned despite worker panic")
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok || pe.Value != "forked" {
+			t.Fatalf("recovered %v, want PanicError(forked)", pe)
+		}
+	}()
+	Do(
+		func() { panic("forked") },
+		func() {},
+	)
+	t.Fatal("Do returned despite forked panic")
+}
+
+func TestCancelledResultsUnconsumedContract(t *testing.T) {
+	// Monotonicity: once any block has been skipped, every later construct
+	// on the same pool skips too — the property multi-pass primitives'
+	// index safety rests on.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPoolContext(ctx, 4)
+	cancel()
+	first := atomic.Bool{}
+	p.BlockedFor(1<<16, 1, func(lo, hi int) { first.Store(true) })
+	later := atomic.Bool{}
+	p.BlockedForIdx(1<<16, 1, func(b, lo, hi int) { later.Store(true) })
+	if first.Load() || later.Load() {
+		t.Fatal("cancelled pool ran a block")
+	}
+	if p.Err() == nil {
+		t.Fatal("Err must report the cancellation the skipped blocks imply")
+	}
+}

@@ -11,6 +11,17 @@
 // nil *Pool is valid everywhere and means "use GOMAXPROCS"; the package-level
 // function forms are shorthands for that default pool.
 //
+// A Pool may additionally carry a context.Context (NewPoolContext), making
+// the whole run it is threaded through cooperatively cancellable: parallel
+// loops check the context at grain boundaries — before each contiguous block,
+// and periodically inside element-wise loops — and skip the remaining work
+// once the context is done. Cancellation is monotone (once observed, every
+// later check observes it), which gives callers a simple safety contract: a
+// parallel construct on a cancelled pool may leave its outputs arbitrary, but
+// any code that runs after it can detect the cancellation with Err() before
+// consuming them. The per-element hot paths never pay more than an atomic
+// load on the fast path.
+//
 // The scheduler is deliberately simple: every parallel loop partitions its
 // iteration space into at most Workers() contiguous blocks and runs each block
 // on its own goroutine. Nested parallel calls simply spawn more goroutines;
@@ -18,22 +29,41 @@
 // the Brent-style W/P + D running time the paper's analysis assumes. Loops
 // below a small grain run serially so that goroutine overhead never dominates
 // (the coarse-granularity compensation called out in DESIGN.md).
+//
+// A panic inside a worker goroutine does not crash the process: it is
+// recovered, wrapped in a *PanicError carrying the original value and stack,
+// and re-panicked on the goroutine that invoked the parallel construct — from
+// where it unwinds through nested constructs like any ordinary panic, so an
+// API boundary can recover it once and surface it as an error.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is an executor: an immutable parallelism budget for one clustering run
-// (or any other unit of work). It carries no goroutines and no mutable state —
-// it is only the worker-count hint every construct sizes its block partition
-// by — so Pools are safe to share, copy, and use from any number of
-// goroutines, and two Pools never interfere with each other.
+// (or any other unit of work). It carries no goroutines and no mutable
+// scheduling state — it is only the worker-count hint every construct sizes
+// its block partition by, plus an optional cancellation context — so Pools
+// are safe to share, copy, and use from any number of goroutines, and two
+// Pools never interfere with each other.
 //
-// The zero value and the nil pointer both mean "all available CPUs".
+// The zero value and the nil pointer both mean "all available CPUs, never
+// cancelled".
 type Pool struct {
 	workers int
+
+	// done is the carried context's cancellation channel (nil: the pool is
+	// not cancellable). observed caches the first observation of the closure
+	// so that the per-iteration checks are one atomic load on the fast path
+	// instead of a channel select.
+	ctx      context.Context
+	done     <-chan struct{}
+	observed *atomic.Bool
 }
 
 // NewPool returns a Pool that caps every construct at p goroutines.
@@ -43,6 +73,115 @@ func NewPool(p int) *Pool {
 		return nil
 	}
 	return &Pool{workers: p}
+}
+
+// NewPoolContext returns a Pool that caps every construct at p goroutines
+// (p <= 0: GOMAXPROCS) and observes ctx: once ctx is done, every parallel
+// construct on the pool skips its remaining blocks and Err() reports
+// ctx.Err(). A nil or non-cancellable ctx (ctx.Done() == nil, e.g.
+// context.Background()) yields a plain budget pool, identical to NewPool(p).
+func NewPoolContext(ctx context.Context, p int) *Pool {
+	if ctx == nil || ctx.Done() == nil {
+		return NewPool(p)
+	}
+	w := 0
+	if p > 0 {
+		w = p
+	}
+	return &Pool{workers: w, ctx: ctx, done: ctx.Done(), observed: &atomic.Bool{}}
+}
+
+// Cancelled reports whether the pool's context is done. Nil-safe; a pool
+// without a context is never cancelled. The fast path (after the first
+// observation, and for context-free pools) is at most one atomic load, so
+// per-cell loops can afford to call it every iteration.
+func (ex *Pool) Cancelled() bool {
+	if ex == nil || ex.done == nil {
+		return false
+	}
+	if ex.observed.Load() {
+		return true
+	}
+	select {
+	case <-ex.done:
+		ex.observed.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the pool context's error once the pool is cancelled, nil
+// otherwise. Nil-safe. Phases call it at their boundaries to unwind a
+// cancelled run promptly: a non-nil Err after a parallel construct also
+// signals that the construct may have skipped blocks and its outputs must
+// not be consumed.
+func (ex *Pool) Err() error {
+	if !ex.Cancelled() {
+		return nil
+	}
+	return ex.ctx.Err()
+}
+
+// Done returns the pool context's cancellation channel, or nil for a pool
+// with no context (a nil channel blocks forever in a select, which is the
+// correct behavior for a never-cancelled pool). Callers that wait on events
+// other than the pool's own loops — e.g. another run's in-flight structure
+// build — select on it so cancellation stays prompt while blocked.
+func (ex *Pool) Done() <-chan struct{} {
+	if ex == nil {
+		return nil
+	}
+	return ex.done
+}
+
+// PanicError wraps a panic recovered from a worker goroutine of a parallel
+// construct. It unwinds to the construct's caller as a panic value and is
+// converted to an ordinary error at the library's API boundaries, so a bug
+// in a parallel phase surfaces from the run instead of crashing the process.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack trace of the panicking worker goroutine.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// panicSlot collects the first worker panic of one parallel construct.
+type panicSlot struct {
+	mu  sync.Mutex
+	val *PanicError
+}
+
+// capture recovers a worker panic into the slot (first panic wins). Call via
+// defer. A *PanicError re-panicked by a nested construct is forwarded as-is,
+// keeping the innermost stack.
+func (ps *panicSlot) capture() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	pe, ok := r.(*PanicError)
+	if !ok {
+		buf := make([]byte, 16<<10)
+		pe = &PanicError{Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+	}
+	ps.mu.Lock()
+	if ps.val == nil {
+		ps.val = pe
+	}
+	ps.mu.Unlock()
+}
+
+// rethrow re-panics the captured worker panic, if any, on the caller's
+// goroutine. Call after the construct's WaitGroup has drained.
+func (ps *panicSlot) rethrow() {
+	if ps.val != nil {
+		panic(ps.val)
+	}
 }
 
 // Default returns the default executor: a nil Pool, whose budget tracks
@@ -63,6 +202,12 @@ func (ex *Pool) Workers() int {
 // Below this, spawning is not worth it.
 const minGrain = 512
 
+// cancelStride is how many iterations an element-wise loop on a cancellable
+// pool runs between cancellation checks. The check is an atomic load on the
+// fast path; 64 iterations amortize even that to noise while keeping the
+// worst-case cancellation latency of a loop at 64 body calls per worker.
+const cancelStride = 64
+
 // For runs f(i) for every i in [0, n) in parallel. The iteration space is cut
 // into contiguous blocks; f must be safe to call concurrently for distinct i.
 func (ex *Pool) For(n int, f func(i int)) {
@@ -72,7 +217,23 @@ func (ex *Pool) For(n int, f func(i int)) {
 // ForGrain is For with an explicit minimum grain (iterations per goroutine).
 // grain <= 0 selects a default that keeps per-goroutine work above minGrain
 // while using all workers on large inputs.
+//
+// On a cancellable pool the element loop checks the context every
+// cancelStride iterations and stops early once it is done (grain-boundary
+// cooperative cancellation); see the package comment for the consumption
+// contract.
 func (ex *Pool) ForGrain(n, grain int, f func(i int)) {
+	if ex != nil && ex.done != nil {
+		ex.BlockedFor(n, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelStride == 0 && ex.Cancelled() {
+					return
+				}
+				f(i)
+			}
+		})
+		return
+	}
 	ex.BlockedFor(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			f(i)
@@ -84,6 +245,12 @@ func (ex *Pool) ForGrain(n, grain int, f func(i int)) {
 // body(lo, hi) for each block in parallel. This is the workhorse used by the
 // primitives: it exposes the block structure so callers can keep per-block
 // state (histograms, partial sums) without false sharing.
+//
+// On a cancellable pool each block checks the context once before running and
+// is skipped entirely when it is done. Because cancellation is monotone, a
+// multi-pass primitive stays index-safe: if any block of an earlier pass was
+// skipped, every block of a later pass observes the cancellation and skips
+// too, so offsets derived from a partial pass are never used for writes.
 func (ex *Pool) BlockedFor(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -97,11 +264,15 @@ func (ex *Pool) BlockedFor(n, grain int, body func(lo, hi int)) {
 		nblocks = p
 	}
 	if nblocks <= 1 {
+		if ex.Cancelled() {
+			return
+		}
 		body(0, n)
 		return
 	}
 	bsize := (n + nblocks - 1) / nblocks
 	var wg sync.WaitGroup
+	var ps panicSlot
 	for b := 0; b < nblocks; b++ {
 		lo := b * bsize
 		hi := lo + bsize
@@ -114,10 +285,15 @@ func (ex *Pool) BlockedFor(n, grain int, body func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer ps.capture()
+			if ex.Cancelled() {
+				return
+			}
 			body(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	ps.rethrow()
 }
 
 // NumBlocks reports how many blocks BlockedFor would use for n items with the
@@ -148,11 +324,15 @@ func (ex *Pool) BlockedForIdx(n, grain int, body func(b, lo, hi int)) {
 	}
 	nblocks := ex.NumBlocks(n, grain)
 	if nblocks == 1 {
+		if ex.Cancelled() {
+			return
+		}
 		body(0, 0, n)
 		return
 	}
 	bsize := (n + nblocks - 1) / nblocks
 	var wg sync.WaitGroup
+	var ps panicSlot
 	for b := 0; b < nblocks; b++ {
 		lo := b * bsize
 		hi := lo + bsize
@@ -165,10 +345,15 @@ func (ex *Pool) BlockedForIdx(n, grain int, body func(b, lo, hi int)) {
 		wg.Add(1)
 		go func(b, lo, hi int) {
 			defer wg.Done()
+			defer ps.capture()
+			if ex.Cancelled() {
+				return
+			}
 			body(b, lo, hi)
 		}(b, lo, hi)
 	}
 	wg.Wait()
+	ps.rethrow()
 }
 
 // ReduceInt computes the sum over i in [0, n) of f(i) with a parallel
@@ -222,7 +407,9 @@ func (ex *Pool) ReduceFloat64Min(n int, identity float64, f func(i int) float64)
 // Do runs the given functions in parallel and waits for all of them. It is
 // the binary (n-ary) fork of fork-join divide-and-conquer algorithms. Forks
 // are unconditional (callers bound recursion depth with a worker budget), so
-// Do needs no pool.
+// Do needs no pool. A panic in a forked function is recovered and re-panicked
+// on the calling goroutine after all forks have finished (a panic in the
+// inline function propagates natively, after the forked ones drain).
 func Do(fs ...func()) {
 	switch len(fs) {
 	case 0:
@@ -233,25 +420,35 @@ func Do(fs ...func()) {
 	case 2:
 		// Common case: run one half inline to halve goroutine count.
 		var wg sync.WaitGroup
+		var ps panicSlot
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer ps.capture()
 			fs[0]()
 		}()
+		defer func() {
+			wg.Wait()
+			ps.rethrow()
+		}()
 		fs[1]()
-		wg.Wait()
 		return
 	}
 	var wg sync.WaitGroup
+	var ps panicSlot
 	wg.Add(len(fs) - 1)
 	for _, f := range fs[:len(fs)-1] {
 		go func(f func()) {
 			defer wg.Done()
+			defer ps.capture()
 			f()
 		}(f)
 	}
+	defer func() {
+		wg.Wait()
+		ps.rethrow()
+	}()
 	fs[len(fs)-1]()
-	wg.Wait()
 }
 
 // Package-level shorthands for the default (GOMAXPROCS) pool, for code with

@@ -1,6 +1,7 @@
 package pdbscan
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -265,11 +266,35 @@ func (s *StreamingClusterer) Window(n int) []int64 {
 // Running on an empty point set returns an empty result (unlike Cluster,
 // which rejects empty input — a stream is legitimately empty between
 // windows).
+//
+// Run is RunContext with a background (never-cancelled) context.
 func (s *StreamingClusterer) Run(cfg Config) (*StreamResult, error) {
+	return s.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: when ctx is cancelled mid-tick, the run
+// stops cooperatively at the next phase or cell boundary and returns
+// ctx.Err(). The point set itself is untouched (mutations live outside Run),
+// but the incremental caches may have absorbed part of the tick, so they are
+// dropped — the next RunContext is a full recompute (Full = true in its
+// StreamStats) and returns exactly what it would have returned anyway.
+//
+// The snapshot that ingests pending mutations into the cell structure always
+// runs to completion regardless of ctx — a snapshot consumes the dirty set
+// and must not be interrupted halfway — so cancellation latency is bounded
+// by the snapshot of the pending mutations plus one phase grain; for
+// mutation-light ticks both are small.
+func (s *StreamingClusterer) RunContext(ctx context.Context, cfg Config) (res *StreamResult, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Eps != 0 && cfg.Eps != s.eps {
 		return nil, fmt.Errorf("pdbscan: StreamingClusterer built for Eps=%v cannot run with Eps=%v (create a new one)", s.eps, cfg.Eps)
 	}
-	if err := validateRunConfig(&cfg); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	params := core.Params{
@@ -288,14 +313,27 @@ func (s *StreamingClusterer) Run(cfg Config) (*StreamResult, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ex := parallel.NewPool(cfg.Workers)
+	// API-boundary panic handler (registered after the Unlock defer, so it
+	// still holds the lock): a worker panic surfaces as an error via the
+	// shared classifier, and the incremental caches — possibly
+	// half-absorbed — are dropped.
+	defer func() {
+		if r := recover(); r != nil {
+			s.inc = core.NewIncremental()
+			res, err = nil, runPanicError(ctx, r)
+		}
+	}()
+	ex := parallel.NewPoolContext(ctx, cfg.Workers)
 	params.Exec = ex
 	params.Arena = s.arena
-	cells, dirty, err := s.dyn.Snapshot(ex)
+	// The snapshot runs on a context-free pool with the same budget: its
+	// mutations to the dynamic structure must complete once started (see the
+	// RunContext doc).
+	cells, dirty, err := s.dyn.Snapshot(parallel.NewPool(cfg.Workers))
 	if err != nil {
 		return nil, err
 	}
-	var res *core.Result
+	var cres *core.Result
 	// A fresh cache (first run, or one dropped by a sharded or failed run)
 	// makes the run full no matter what the snapshot's dirty info says.
 	dirtyCells, full := dirty.NumAffected, dirty.Full || s.inc.Fresh()
@@ -314,12 +352,17 @@ func (s *StreamingClusterer) Run(cfg Config) (*StreamResult, error) {
 		if perr != nil {
 			return nil, perr
 		}
+		// A partition cut on a cancelled pool may be arbitrary; bail before
+		// handing it to the pipeline.
+		if cerr := ex.Err(); cerr != nil {
+			return nil, cerr
+		}
 		if part.NumShards <= 1 {
 			// Uncuttable lattice: the monolithic phases parallelize better
 			// than a one-shard run would (same fallback as Clusterer.Run).
-			res, err = core.Run(cells, params)
+			cres, err = core.Run(cells, params)
 		} else {
-			res, err = core.RunSharded(cells, params, part)
+			cres, err = core.RunSharded(cells, params, part)
 		}
 		if err != nil {
 			return nil, err
@@ -331,7 +374,7 @@ func (s *StreamingClusterer) Run(cfg Config) (*StreamResult, error) {
 		// empty tick is how dying cells' cached core lists get retired
 		// (skipping it would leak them into the next non-empty tick as
 		// phantom clusters — pinned by the FuzzStreamingOps corpus).
-		res, err = core.RunIncremental(cells, params, s.inc, dirty)
+		cres, err = core.RunIncremental(cells, params, s.inc, dirty)
 		if err != nil {
 			// The snapshot's dirty info is spent but the caches never
 			// absorbed it; drop them so the next Run recomputes from clean
@@ -361,8 +404,8 @@ func (s *StreamingClusterer) Run(cfg Config) (*StreamResult, error) {
 		Result: Result{
 			Labels:      make([]int32, len(s.ids)),
 			Core:        make([]bool, len(s.ids)),
-			Border:      make(map[int32][]int32, len(res.Border)),
-			NumClusters: res.NumClusters,
+			Border:      make(map[int32][]int32, len(cres.Border)),
+			NumClusters: cres.NumClusters,
 		},
 		IDs: make([]int64, len(s.ids)),
 	}
@@ -371,10 +414,10 @@ func (s *StreamingClusterer) Run(cfg Config) (*StreamResult, error) {
 		slot := s.slots[k]
 		posOfSlot[slot] = int32(k)
 		out.IDs[k] = id
-		out.Labels[k] = res.Labels[slot]
-		out.Core[k] = res.Core[slot]
+		out.Labels[k] = cres.Labels[slot]
+		out.Core[k] = cres.Core[slot]
 	}
-	for slot, member := range res.Border {
+	for slot, member := range cres.Border {
 		out.Border[posOfSlot[slot]] = member
 	}
 	return out, nil
