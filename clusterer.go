@@ -47,6 +47,13 @@ type Clusterer struct {
 	// the arena across overlapping Runs is safe.
 	arena *core.Arena
 
+	// hiers caches one Hierarchy per MinPts (hierarchies depend only on the
+	// points, eps, and MinPts). Entries follow the lazyCells discipline —
+	// cancelled builds are discarded, never latched.
+	hierMu   sync.Mutex
+	hiers    map[int]*lazyHierarchy
+	hierHook func(phase string) // test seam: forwarded as the build's PhaseHook
+
 	statsMu   sync.Mutex
 	lastStats RunStats
 

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-serve BENCH_serve.json] [-strict]
+//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-serve BENCH_serve.json] [-emst BENCH_emst.json] [-strict]
 //
 // A metric regresses when it drops more than 10% below the committed
 // baseline, or below the absolute floor the optimization was accepted at
@@ -16,8 +16,12 @@
 // must stay under its 50ms acceptance floor, every cancelled run's recovery
 // must have been label-permutation-equal to the baseline, and the Engine's
 // sampled worker usage must never have exceeded its budget (the last two are
-// hard errors — they are correctness invariants, not performance). Warnings
-// annotate the PR; -strict turns them into errors and a non-zero exit.
+// hard errors — they are correctness invariants, not performance). With
+// -emst it gates the EMST-hierarchy report: the 16-eps sweep must stay at
+// least 5x faster than independent runs (a host-relative ratio), and every
+// cut must have been label-permutation-equal to its from-scratch run
+// (queries_equal=false is a hard error). Warnings annotate the PR; -strict
+// turns them into errors and a non-zero exit.
 package main
 
 import (
@@ -35,6 +39,13 @@ type hotHeadline struct {
 	HeadlineAllocRatio    float64 `json:"headline_alloc_ratio"`
 }
 
+// emstHeadline is the subset of the BENCH_emst.json schema the gate reads.
+type emstHeadline struct {
+	N                 int     `json:"n"`
+	AmortizationRatio float64 `json:"amortization_ratio"`
+	QueriesEqual      bool    `json:"queries_equal"`
+}
+
 // serveHeadline is the subset of the BENCH_serve.json schema the gate reads.
 type serveHeadline struct {
 	N                   int   `json:"n"`
@@ -45,19 +56,22 @@ type serveHeadline struct {
 }
 
 // Acceptance floors of the hot-path optimization, with the 10% regression
-// grace applied by the caller; and of the serving path (cancellation
-// latency, absolute — it is a latency budget, not a host-relative ratio).
+// grace applied by the caller; of the serving path (cancellation latency,
+// absolute — it is a latency budget, not a host-relative ratio); and of the
+// EMST hierarchy (sweep amortization over independent runs, a ratio).
 const (
-	floorSpeedup       = 1.3
-	floorAllocRatio    = 5.0
-	grace              = 0.9 // >10% below a reference counts as a regression
-	floorCancelLatency = 50 * time.Millisecond
+	floorSpeedup          = 1.3
+	floorAllocRatio       = 5.0
+	grace                 = 0.9 // >10% below a reference counts as a regression
+	floorCancelLatency    = 50 * time.Millisecond
+	floorEmstAmortization = 5.0
 )
 
 func main() {
 	freshPath := flag.String("fresh", "BENCH_hot.json", "freshly generated report to check")
 	basePath := flag.String("baseline", "", "committed baseline report to compare against (optional)")
 	servePath := flag.String("serve", "", "freshly generated BENCH_serve.json to gate (optional)")
+	emstPath := flag.String("emst", "", "freshly generated BENCH_emst.json to gate (optional)")
 	strict := flag.Bool("strict", false, "exit non-zero (and annotate as errors) on regression")
 	flag.Parse()
 
@@ -129,6 +143,33 @@ func main() {
 		}
 	}
 
+	if *emstPath != "" {
+		emst, err := readEmst(*emstPath)
+		if err != nil {
+			fmt.Printf("::error ::benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		// Correctness invariant: every cut label-permutation-equal to its
+		// from-scratch run. A fast sweep that answers a different question
+		// is not a result; hard error regardless of -strict.
+		if !emst.QueriesEqual {
+			fmt.Println("::error ::emst: a hierarchy cut diverged from its from-scratch run (queries_equal=false)")
+			hardFail = true
+		}
+		if emst.AmortizationRatio < floorEmstAmortization*grace {
+			level := "warning"
+			if *strict {
+				level = "error"
+			}
+			regressed = true
+			fmt.Printf("::%s ::emst: sweep amortization %.2fx, more than 10%% below the %.1fx acceptance floor\n",
+				level, emst.AmortizationRatio, floorEmstAmortization)
+		} else if emst.QueriesEqual {
+			fmt.Printf("benchgate: emst ok (amortization %.2fx >= %.2f at n=%d, all cuts equal)\n",
+				emst.AmortizationRatio, floorEmstAmortization*grace, emst.N)
+		}
+	}
+
 	if !regressed && !hardFail {
 		fmt.Printf("benchgate: ok (speedup %.2fx >= %.2f, alloc ratio %.1fx >= %.1f)\n",
 			fresh.Headline2DGridSpeedup, floorSpeedup*grace, fresh.HeadlineAllocRatio, floorAllocRatio*grace)
@@ -136,6 +177,21 @@ func main() {
 	if hardFail || (regressed && *strict) {
 		os.Exit(1)
 	}
+}
+
+func readEmst(path string) (*emstHeadline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e emstHeadline
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if e.N == 0 || e.AmortizationRatio == 0 {
+		return nil, fmt.Errorf("%s: missing emst metrics", path)
+	}
+	return &e, nil
 }
 
 func readServe(path string) (*serveHeadline, error) {

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pdbscan"
+)
+
+// emstQuery is one eps of the sweep: the hierarchy cut vs a from-scratch run
+// at the same radius.
+type emstQuery struct {
+	Eps         float64 `json:"eps"`
+	Clusters    int     `json:"clusters"`
+	CutNs       int64   `json:"cut_ns"`
+	RunNs       int64   `json:"run_ns"`
+	LabelsEqual bool    `json:"labels_equal"`
+}
+
+// emstReport is the BENCH_emst.json schema: one EMST-backed hierarchy build
+// amortized over a 16-eps sweep, against 16 independent from-scratch
+// Clusterer runs on the same data.
+type emstReport struct {
+	Dataset string  `json:"dataset"`
+	N       int     `json:"n"`
+	D       int     `json:"d"`
+	MinPts  int     `json:"min_pts"`
+	EpsMax  float64 `json:"eps_max"`
+	Seed    int64   `json:"seed"`
+	Threads int     `json:"threads"`
+
+	NumEdges int   `json:"num_edges"`
+	BuildNs  int64 `json:"build_ns"`
+	// SweepNs is BuildNs plus every cut; BatchNs is the sum of the
+	// independent runs (each paying its own eps-keyed grid construction,
+	// exactly what a caller without the hierarchy would pay).
+	SweepNs    int64 `json:"sweep_ns"`
+	BatchNs    int64 `json:"batch_ns"`
+	QueryAvgNs int64 `json:"query_avg_ns"`
+	QueryMaxNs int64 `json:"query_max_ns"`
+
+	// AmortizationRatio is BatchNs / SweepNs — how much faster the sweep is
+	// through one build + cheap cuts. The benchgate floor pins it at >= 5x.
+	AmortizationRatio float64 `json:"amortization_ratio"`
+	// QueriesEqual is true when every cut was label-permutation-equal to its
+	// from-scratch run (same cluster count, same core flags, core labels in
+	// bijection, border membership sets equal under it — the oracle suite's
+	// equivalence). benchgate treats false as a hard failure regardless of
+	// -strict.
+	QueriesEqual bool `json:"queries_equal"`
+
+	ExtractNs      int64 `json:"extract_ns"`
+	StableClusters int   `json:"stable_clusters"`
+
+	Queries []emstQuery `json:"queries"`
+}
+
+// expEmst measures the tentpole of the hierarchy subsystem: build the core
+// distances and mutual-reachability EMST once, then answer a 16-eps sweep by
+// CutEps replay, against 16 independent from-scratch runs. Every cut is
+// cross-checked against its run (the same conformance the oracle suite pins)
+// so the speedup cannot come from answering a different question.
+func expEmst(o options) {
+	const (
+		name   = "ss-varden-2d"
+		minPts = 10
+		epsMax = 30.0
+		sweeps = 16
+	)
+	pts := loadDataset(name, o.n, o.seed)
+	fmt.Printf("EMST sweep: %s n=%d minPts=%d, %d eps in (0, %g]\n\n", name, pts.N, minPts, sweeps, epsMax)
+
+	rep := emstReport{
+		Dataset: name, N: pts.N, D: pts.D, MinPts: minPts, EpsMax: epsMax,
+		Seed: o.seed, Threads: o.threads, QueriesEqual: true,
+	}
+
+	c, err := pdbscan.NewClustererFlat(pts.Data, pts.D, epsMax)
+	if err != nil {
+		fatalf("emst: %v", err)
+	}
+	start := time.Now()
+	h, err := c.BuildHierarchy(minPts)
+	if err != nil {
+		fatalf("emst: BuildHierarchy: %v", err)
+	}
+	build := time.Since(start)
+	rep.BuildNs = build.Nanoseconds()
+	rep.NumEdges = h.NumEdges()
+	fmt.Printf("build: %d MR-EMST edges in %v\n", h.NumEdges(), build.Round(time.Millisecond))
+
+	tbl := newTable("hierarchy cut vs from-scratch run",
+		"eps", "clusters", "cut", "run", "equal")
+	for i := 1; i <= sweeps; i++ {
+		eps := epsMax * float64(i) / sweeps
+		start = time.Now()
+		cut, err := h.CutEps(eps)
+		if err != nil {
+			fatalf("emst: CutEps(%g): %v", eps, err)
+		}
+		cutNs := time.Since(start).Nanoseconds()
+
+		start = time.Now()
+		cb, err := pdbscan.NewClustererFlat(pts.Data, pts.D, eps)
+		if err != nil {
+			fatalf("emst: %v", err)
+		}
+		run, err := cb.Run(pdbscan.Config{MinPts: minPts, Bucketing: true, Workers: o.threads})
+		if err != nil {
+			fatalf("emst: Run(eps=%g): %v", eps, err)
+		}
+		runNs := time.Since(start).Nanoseconds()
+
+		equal := equivalentClusterings(cut, run)
+		if !equal {
+			rep.QueriesEqual = false
+		}
+		rep.Queries = append(rep.Queries, emstQuery{
+			Eps: eps, Clusters: cut.NumClusters,
+			CutNs: cutNs, RunNs: runNs, LabelsEqual: equal,
+		})
+		rep.SweepNs += cutNs
+		rep.BatchNs += runNs
+		if cutNs > rep.QueryMaxNs {
+			rep.QueryMaxNs = cutNs
+		}
+		tbl.add(fmt.Sprintf("%.4g", eps), fmt.Sprint(cut.NumClusters),
+			fmtDur(time.Duration(cutNs)), fmtDur(time.Duration(runNs)),
+			fmt.Sprint(equal))
+	}
+	tbl.print()
+
+	rep.QueryAvgNs = rep.SweepNs / sweeps
+	rep.SweepNs += rep.BuildNs
+	rep.AmortizationRatio = float64(rep.BatchNs) / float64(rep.SweepNs)
+
+	start = time.Now()
+	stable, err := h.ExtractStable(0)
+	if err != nil {
+		fatalf("emst: ExtractStable: %v", err)
+	}
+	rep.ExtractNs = time.Since(start).Nanoseconds()
+	rep.StableClusters = stable.NumClusters
+
+	fmt.Printf("\nsweep %v (build %v + %d cuts avg %v) vs batch %v: %.2fx amortization; all equal: %v\n",
+		time.Duration(rep.SweepNs).Round(time.Millisecond),
+		build.Round(time.Millisecond), sweeps,
+		time.Duration(rep.QueryAvgNs).Round(time.Microsecond),
+		time.Duration(rep.BatchNs).Round(time.Millisecond),
+		rep.AmortizationRatio, rep.QueriesEqual)
+	fmt.Printf("ExtractStable: %d stable clusters in %v\n",
+		rep.StableClusters, time.Duration(rep.ExtractNs).Round(time.Millisecond))
+
+	if o.jsonPath != "" {
+		writeJSON(o.jsonPath, rep)
+		fmt.Printf("wrote %s\n", o.jsonPath)
+	}
+}
+
+// equivalentClusterings reports whether two results describe the same
+// clustering up to label permutation: identical core flags, a consistent
+// core-label bijection, and per-point membership sets (primary label, or the
+// full border membership list) equal under that bijection. Border points may
+// take different primary labels on the two sides — a multi-membership border
+// point's primary is a numbering artifact, not a clustering difference.
+func equivalentClusterings(a, b *pdbscan.Result) bool {
+	if len(a.Labels) != len(b.Labels) || a.NumClusters != b.NumClusters {
+		return false
+	}
+	ab := make([]int32, a.NumClusters)
+	ba := make([]int32, b.NumClusters)
+	for i := range ab {
+		ab[i] = -1
+	}
+	for i := range ba {
+		ba[i] = -1
+	}
+	for i := range a.Labels {
+		if a.Core[i] != b.Core[i] {
+			return false
+		}
+		if !a.Core[i] {
+			continue
+		}
+		la, lb := a.Labels[i], b.Labels[i]
+		if ab[la] == -1 && ba[lb] == -1 {
+			ab[la], ba[lb] = lb, la
+		} else if ab[la] != lb || ba[lb] != la {
+			return false
+		}
+	}
+	memberships := func(r *pdbscan.Result, i int) []int32 {
+		if m, ok := r.Border[int32(i)]; ok {
+			return m
+		}
+		if r.Labels[i] < 0 {
+			return nil
+		}
+		return []int32{r.Labels[i]}
+	}
+	for i := range a.Labels {
+		ma, mb := memberships(a, i), memberships(b, i)
+		if len(ma) != len(mb) {
+			return false
+		}
+		set := make(map[int32]bool, len(ma))
+		for _, l := range ma {
+			set[ab[l]] = true
+		}
+		for _, l := range mb {
+			if !set[l] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -45,6 +45,7 @@ var experiments = map[string]struct {
 	"shard":    {"sharded partition/merge path vs monolithic (-json records BENCH_shard.json)", expShard},
 	"hot":      {"clustering-phase hot path: specialized kernels + arena vs generic fallback (-json records BENCH_hot.json)", expHot},
 	"serve":    {"serving path: cancellation latency mid-run + Engine throughput under mixed jobs (-json records BENCH_serve.json)", expServe},
+	"emst":     {"EMST-backed hierarchy: one build amortized over a 16-eps sweep vs independent runs (-json records BENCH_emst.json)", expEmst},
 }
 
 func main() {

@@ -95,5 +95,86 @@ func TestValidateMatchesRunRejection(t *testing.T) {
 		if _, err := s.Run(cfg); err == nil {
 			t.Errorf("case %d: StreamingClusterer.Run accepted", i)
 		}
+		if _, err := c.BuildHierarchyContext(nil, cfg); err == nil {
+			t.Errorf("case %d: BuildHierarchyContext accepted", i)
+		}
+	}
+}
+
+// TestHierarchyValidationTable pins the hierarchy entry points' validation:
+// BuildHierarchyContext applies the shared Config.Validate (MinPts bounds,
+// Workers, eps-match against the Clusterer), and the query side rejects
+// non-finite, non-positive, and beyond-build radii through ValidateEps —
+// the same check CutEps and engine.Submit apply.
+func TestHierarchyValidationTable(t *testing.T) {
+	rows := blobs(80, 2, 5)
+	c, err := NewClusterer(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildCases := []struct {
+		name  string
+		cfg   Config
+		field string // expected substring of the error; "" = valid
+	}{
+		{"valid", Config{MinPts: 3}, ""},
+		{"valid explicit eps", Config{Eps: 2, MinPts: 3}, ""},
+		{"valid explicit workers", Config{MinPts: 3, Workers: 2}, ""},
+		{"zero minpts", Config{MinPts: 0}, "MinPts"},
+		{"negative minpts", Config{MinPts: -2}, "MinPts"},
+		{"negative workers", Config{MinPts: 3, Workers: -1}, "Workers"},
+		{"mismatched eps", Config{Eps: 3, MinPts: 3}, "Eps"},
+		{"NaN eps", Config{Eps: math.NaN(), MinPts: 3}, "Eps"},
+	}
+	for _, tc := range buildCases {
+		_, err := c.BuildHierarchyContext(nil, tc.cfg)
+		if tc.field == "" {
+			if err != nil {
+				t.Errorf("build %s: %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("build %s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("build %s: error %q does not name %q", tc.name, err, tc.field)
+		}
+	}
+	h, err := c.BuildHierarchy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutCases := []struct {
+		name string
+		eps  float64
+		ok   bool
+	}{
+		{"valid interior", 1, true},
+		{"valid at build eps", 2, true},
+		{"zero", 0, false},
+		{"negative", -1, false},
+		{"NaN", math.NaN(), false},
+		{"+Inf", math.Inf(1), false},
+		{"-Inf", math.Inf(-1), false},
+		{"beyond build eps", 2.5, false},
+	}
+	for _, tc := range cutCases {
+		verr := h.ValidateEps(tc.eps)
+		_, cerr := h.CutEps(tc.eps)
+		if tc.ok {
+			if verr != nil || cerr != nil {
+				t.Errorf("cut %s: ValidateEps=%v CutEps=%v, want nil", tc.name, verr, cerr)
+			}
+			continue
+		}
+		if verr == nil || cerr == nil {
+			t.Errorf("cut %s: ValidateEps=%v CutEps=%v, want errors", tc.name, verr, cerr)
+		}
+	}
+	if _, err := h.CutEpsContext(nil, 1, -1); err == nil || !strings.Contains(err.Error(), "Workers") {
+		t.Errorf("CutEpsContext workers=-1: %v", err)
+	}
+	if _, _, err := h.CutKContext(nil, 2, -1); err == nil || !strings.Contains(err.Error(), "Workers") {
+		t.Errorf("CutKContext workers=-1: %v", err)
 	}
 }

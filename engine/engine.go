@@ -30,15 +30,19 @@
 //     phase boundary. QueueTimeout bounds waiting independently of the
 //     caller's context.
 //
-// Jobs target a *pdbscan.Clusterer or *pdbscan.StreamingClusterer built by
-// the caller, so the eps-keyed structures and arenas those types cache keep
-// amortizing across jobs exactly as they do across direct Run calls.
+// Jobs target a *pdbscan.Clusterer, *pdbscan.StreamingClusterer, or
+// *pdbscan.Hierarchy built by the caller, so the eps-keyed structures and
+// arenas those types cache keep amortizing across jobs exactly as they do
+// across direct Run calls. Hierarchy jobs run Config.Eps as a CutEps query
+// against the prebuilt dendrogram — the cheap way to schedule an eps sweep
+// as independent, individually cancellable jobs.
 package engine
 
 import (
 	"container/heap"
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -60,7 +64,7 @@ var (
 	ErrClosed = errors.New("engine: engine closed")
 	// ErrBadRequest is returned by Submit when the request does not name
 	// exactly one run target.
-	ErrBadRequest = errors.New("engine: request must set exactly one of Clusterer or Streaming")
+	ErrBadRequest = errors.New("engine: request must set exactly one of Clusterer, Streaming, or Hierarchy")
 )
 
 // Options configures an Engine. The zero value is usable: GOMAXPROCS worker
@@ -81,14 +85,20 @@ type Options struct {
 // is not set.
 const DefaultMaxQueue = 64
 
-// Request describes one job: a run target (exactly one of Clusterer or
-// Streaming), its Config, and a scheduling priority.
+// Request describes one job: a run target (exactly one of Clusterer,
+// Streaming, or Hierarchy), its Config, and a scheduling priority.
 type Request struct {
 	// Clusterer runs Config as a batch job (Clusterer.RunContext).
 	Clusterer *pdbscan.Clusterer
 	// Streaming runs Config as a streaming tick (StreamingClusterer.
 	// RunContext).
 	Streaming *pdbscan.StreamingClusterer
+	// Hierarchy runs Config.Eps as a dendrogram cut (Hierarchy.
+	// CutEpsContext) on a prebuilt hierarchy. Config.Eps must pass the
+	// hierarchy's ValidateEps; Config.MinPts must be 0 or the hierarchy's
+	// own MinPts (the hierarchy fixes it at build time). Fields that only
+	// configure a full run (Method, Rho, Shards, ...) are ignored.
+	Hierarchy *pdbscan.Hierarchy
 	// Config is the run configuration. Config.Workers is the job's worker
 	// cap, drawn from the Engine's shared budget while the job runs; 0 (or
 	// any value above the budget) requests the whole budget, which
@@ -175,10 +185,34 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if (req.Clusterer == nil) == (req.Streaming == nil) {
+	targets := 0
+	if req.Clusterer != nil {
+		targets++
+	}
+	if req.Streaming != nil {
+		targets++
+	}
+	if req.Hierarchy != nil {
+		targets++
+	}
+	if targets != 1 {
 		return nil, ErrBadRequest
 	}
-	if err := req.Config.Validate(); err != nil {
+	cfgCheck := req.Config
+	if req.Hierarchy != nil {
+		if err := req.Hierarchy.ValidateEps(cfgCheck.Eps); err != nil {
+			return nil, err
+		}
+		switch cfgCheck.MinPts {
+		case 0:
+			cfgCheck.MinPts = req.Hierarchy.MinPts()
+		case req.Hierarchy.MinPts():
+		default:
+			return nil, fmt.Errorf("engine: Config.MinPts %d must be 0 or the hierarchy's MinPts %d",
+				cfgCheck.MinPts, req.Hierarchy.MinPts())
+		}
+	}
+	if err := cfgCheck.Validate(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
@@ -274,9 +308,12 @@ func (e *Engine) runJob(j *Job) {
 	defer e.wg.Done()
 	cfg := j.req.Config
 	cfg.Workers = j.workers
-	if j.req.Clusterer != nil {
+	switch {
+	case j.req.Clusterer != nil:
 		j.res, j.err = j.req.Clusterer.RunContext(j.ctx, cfg)
-	} else {
+	case j.req.Hierarchy != nil:
+		j.res, j.err = j.req.Hierarchy.CutEpsContext(j.ctx, cfg.Eps, cfg.Workers)
+	default:
 		j.sres, j.err = j.req.Streaming.RunContext(j.ctx, cfg)
 	}
 	j.ranFor = time.Since(j.started)
@@ -420,8 +457,8 @@ func (j *Job) Err() error {
 	return j.err
 }
 
-// Result blocks until the job completes and returns the batch result (nil
-// for streaming jobs — use StreamResult).
+// Result blocks until the job completes and returns the batch or
+// hierarchy-cut result (nil for streaming jobs — use StreamResult).
 func (j *Job) Result() (*pdbscan.Result, error) {
 	<-j.done
 	return j.res, j.err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -340,14 +341,25 @@ func TestEngineSubmitValidation(t *testing.T) {
 	defer e.Close()
 	c := mustClusterer(t, genPoints(500, 8), 2)
 	s, _ := pdbscan.NewStreamingClusterer(2, 2)
+	h, err := c.BuildHierarchy(5)
+	if err != nil {
+		t.Fatalf("BuildHierarchy: %v", err)
+	}
 	cases := []struct {
 		name string
 		req  Request
 	}{
 		{"no target", Request{Config: pdbscan.Config{Eps: 2, MinPts: 5}}},
 		{"both targets", Request{Clusterer: c, Streaming: s, Config: pdbscan.Config{Eps: 2, MinPts: 5}}},
+		{"all three targets", Request{Clusterer: c, Streaming: s, Hierarchy: h, Config: pdbscan.Config{Eps: 2, MinPts: 5}}},
+		{"hierarchy plus clusterer", Request{Clusterer: c, Hierarchy: h, Config: pdbscan.Config{Eps: 2, MinPts: 5}}},
+		{"hierarchy plus streaming", Request{Streaming: s, Hierarchy: h, Config: pdbscan.Config{Eps: 2, MinPts: 5}}},
 		{"bad config", Request{Clusterer: c, Config: pdbscan.Config{Eps: 2, MinPts: 0}}},
 		{"negative shards", Request{Clusterer: c, Config: pdbscan.Config{Eps: 2, MinPts: 5, Shards: -1}}},
+		{"hierarchy zero eps", Request{Hierarchy: h, Config: pdbscan.Config{Eps: 0}}},
+		{"hierarchy eps beyond build", Request{Hierarchy: h, Config: pdbscan.Config{Eps: 2.5}}},
+		{"hierarchy mismatched minpts", Request{Hierarchy: h, Config: pdbscan.Config{Eps: 1, MinPts: 7}}},
+		{"hierarchy negative workers", Request{Hierarchy: h, Config: pdbscan.Config{Eps: 1, Workers: -1}}},
 	}
 	for _, tc := range cases {
 		if _, err := e.Submit(context.Background(), tc.req); err == nil {
@@ -368,7 +380,11 @@ func TestEngineClose(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	release() // Close waits for running jobs; unwind the blocker
+	// Close sweeps the queue before waiting on running jobs, so j completes
+	// with ErrClosed while the blocker still occupies the budget. Releasing
+	// the blocker only after that sweep is observed (j.Err unblocks) keeps
+	// the dispatcher from starting j in the window before Close takes the
+	// lock.
 	done := make(chan struct{})
 	go func() {
 		e.Close()
@@ -377,6 +393,7 @@ func TestEngineClose(t *testing.T) {
 	if err := j.Err(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("queued job err after Close = %v, want ErrClosed", err)
 	}
+	release() // Close waits for running jobs; unwind the blocker
 	select {
 	case <-done:
 	case <-time.After(10 * time.Second):
@@ -423,5 +440,57 @@ func TestEngineStreamingDeadline(t *testing.T) {
 	}
 	if len(sr.Labels) != 2000 {
 		t.Fatalf("streaming result has %d labels, want 2000", len(sr.Labels))
+	}
+}
+
+// TestEngineHierarchySweep schedules an eps sweep as independent Hierarchy
+// jobs on one shared dendrogram: every cut result must be identical to a
+// direct CutEps at the same radius, MinPts may be left 0 (defaulted to the
+// hierarchy's own), and the jobs run concurrently under the shared budget.
+func TestEngineHierarchySweep(t *testing.T) {
+	e := New(Options{Budget: 4, MaxQueue: 64})
+	defer e.Close()
+	c := mustClusterer(t, genPoints(3000, 12), 3)
+	h, err := c.BuildHierarchy(5)
+	if err != nil {
+		t.Fatalf("BuildHierarchy: %v", err)
+	}
+	const sweeps = 16
+	jobs := make([]*Job, sweeps)
+	radii := make([]float64, sweeps)
+	for i := range jobs {
+		radii[i] = 3 * float64(i+1) / sweeps
+		jobs[i], err = e.Submit(context.Background(), Request{
+			Hierarchy: h,
+			Config:    pdbscan.Config{Eps: radii[i], Workers: 2},
+		})
+		if err != nil {
+			t.Fatalf("Submit cut %d: %v", i, err)
+		}
+	}
+	for i, j := range jobs {
+		got, err := j.Result()
+		if err != nil {
+			t.Fatalf("cut %d: %v", i, err)
+		}
+		want, err := h.CutEps(radii[i])
+		if err != nil {
+			t.Fatalf("direct CutEps(%g): %v", radii[i], err)
+		}
+		sameResult(t, got, want, "cut "+strconv.FormatFloat(radii[i], 'g', -1, 64))
+	}
+	// Explicitly matching MinPts is accepted too.
+	j, err := e.Submit(context.Background(), Request{
+		Hierarchy: h,
+		Config:    pdbscan.Config{Eps: 1, MinPts: 5},
+	})
+	if err != nil {
+		t.Fatalf("Submit with matching MinPts: %v", err)
+	}
+	if _, err := j.Result(); err != nil {
+		t.Fatalf("matching-MinPts job: %v", err)
+	}
+	if st := e.Stats(); st.Completed != sweeps+1 {
+		t.Fatalf("Completed = %d, want %d", st.Completed, sweeps+1)
 	}
 }

@@ -2,9 +2,12 @@
 // parameters that "output a correct clustering" (Section 7). This example
 // shows that workflow with the library in two stages:
 //
-//  1. an eps sweep at fixed minPts with one-shot Cluster calls (each eps
-//     needs its own cell structure, so there is nothing to reuse), picking
-//     the plateau — the eps range where the cluster count is stable;
+//  1. an eps sweep at fixed minPts through a single Hierarchy: one
+//     BuildHierarchy pays for core distances and the mutual-reachability
+//     EMST, then every eps on the grid is a CutEps replay over the sorted
+//     edges — versus a fresh one-shot Cluster per eps, which rebuilds the
+//     cell structure and redoes the full run each time. ExtractStable then
+//     reads the parameter-free answer straight off the same dendrogram;
 //  2. a minPts sweep at the chosen eps through a single Clusterer, which
 //     builds the eps-keyed grid once and reuses it for every run — the
 //     second stage is nearly free compared to re-clustering from scratch.
@@ -22,46 +25,106 @@ func main() {
 	const n = 100000
 	pts := dataset.SeedSpreader(dataset.SeedSpreaderConfig{N: n, D: 3, Seed: 9})
 
-	// --- Stage 1: eps sweep (fresh structure per eps) ---
-	fmt.Printf("SS-simden-3D: %d points; sweeping eps at minPts=100\n", pts.N)
-	fmt.Printf("%-10s %-10s %-10s %-12s %s\n", "eps", "clusters", "noise%", "largest%", "time")
+	// --- Stage 1: eps sweep off one hierarchy ---
+	// The grid covers the useful range: below ~10 everything is noise at
+	// minPts=100, and by a few hundred the generator's clusters have merged.
+	// Keeping epsMax at the top of the *interesting* range matters: the
+	// hierarchy build enumerates cell-pair subgraphs within epsMax, so a
+	// needlessly large radius pays for merges the sweep never looks at.
+	epsGrid := []float64{10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 80, 100}
+	epsMax := epsGrid[len(epsGrid)-1]
 	minPts := 100
-	for _, eps := range []float64{10, 25, 50, 100, 400, 1000, 2000, 3000} {
-		start := time.Now()
-		res, err := pdbscan.ClusterFlat(pts.Data, pts.D, pdbscan.Config{
+	fmt.Printf("SS-simden-3D: %d points; sweeping eps at minPts=%d\n", pts.N, minPts)
+	c, err := pdbscan.NewClustererFlat(pts.Data, pts.D, epsMax)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	h, err := c.BuildHierarchy(minPts)
+	if err != nil {
+		panic(err)
+	}
+	buildTime := time.Since(start)
+	fmt.Printf("hierarchy: %d MR-EMST edges in %v (build once, cut per eps)\n",
+		h.NumEdges(), buildTime.Round(time.Millisecond))
+	fmt.Printf("%-10s %-10s %-10s %-12s %-12s %s\n",
+		"eps", "clusters", "noise%", "largest%", "cut", "one-shot")
+	var sweepTime, oneShotTime time.Duration
+	for _, eps := range epsGrid {
+		start = time.Now()
+		res, err := h.CutEps(eps)
+		if err != nil {
+			panic(err)
+		}
+		cut := time.Since(start)
+		sweepTime += cut
+
+		// The old way, for comparison: a fresh structure and full run per eps.
+		start = time.Now()
+		oneShot, err := pdbscan.ClusterFlat(pts.Data, pts.D, pdbscan.Config{
 			Eps: eps, MinPts: minPts, Method: pdbscan.MethodExact, Bucketing: true,
 		})
 		if err != nil {
 			panic(err)
 		}
+		shot := time.Since(start)
+		oneShotTime += shot
+		if res.NumClusters != oneShot.NumClusters {
+			panic(fmt.Sprintf("eps %g: cut found %d clusters, one-shot %d",
+				eps, res.NumClusters, oneShot.NumClusters))
+		}
+
 		largest := 0
 		for _, s := range res.ClusterSizes() {
 			if s > largest {
 				largest = s
 			}
 		}
-		fmt.Printf("%-10g %-10d %-10.1f %-12.1f %v\n",
+		fmt.Printf("%-10g %-10d %-10.1f %-12.1f %-12v %v\n",
 			eps, res.NumClusters,
 			100*float64(res.NumNoise())/float64(n),
 			100*float64(largest)/float64(n),
-			time.Since(start).Round(time.Millisecond))
+			cut.Round(time.Millisecond),
+			shot.Round(time.Millisecond))
 	}
 	fmt.Println()
-	fmt.Println("pick the eps plateau: the cluster count stabilizes at the generator's")
-	fmt.Println("true cluster count (~10) with low noise, before over-merging begins")
+	fmt.Printf("sweep via cuts: %v (+%v build) vs %v re-clustering from scratch\n",
+		sweepTime.Round(time.Millisecond), buildTime.Round(time.Millisecond),
+		oneShotTime.Round(time.Millisecond))
+	fmt.Println("pick the eps plateau: the cluster count settles at the generator's")
+	fmt.Println("true cluster count (6) with low noise, before over-merging begins")
 	fmt.Println()
 
-	// --- Stage 2: minPts sweep at the chosen eps, one Clusterer ---
-	const chosenEps = 1000.0
-	fmt.Printf("sweeping minPts at eps=%g through one Clusterer (grid built once)\n", chosenEps)
-	fmt.Printf("%-10s %-10s %-10s %s\n", "minPts", "clusters", "noise%", "time")
-	c, err := pdbscan.NewClustererFlat(pts.Data, pts.D, chosenEps)
+	// CutK inverts the question: ask for a cluster count, get the radius.
+	if res, eps, err := h.CutK(6); err == nil {
+		fmt.Printf("CutK(6): eps=%.4g yields %d clusters, %.1f%% noise\n",
+			eps, res.NumClusters, 100*float64(res.NumNoise())/float64(n))
+	} else {
+		fmt.Printf("CutK(6): %v\n", err)
+	}
+
+	// ExtractStable skips the eps choice entirely: HDBSCAN*-style stability
+	// selection over the same dendrogram.
+	start = time.Now()
+	stable, err := h.ExtractStable(0)
 	if err != nil {
 		panic(err)
 	}
-	for _, mp := range []int{10, 50, 100, 500, 1000, 5000} {
+	fmt.Printf("ExtractStable: %d stable clusters in %v (no eps needed)\n",
+		stable.NumClusters, time.Since(start).Round(time.Millisecond))
+	fmt.Println()
+
+	// --- Stage 2: minPts sweep at the chosen eps, one Clusterer ---
+	const chosenEps = 60.0
+	fmt.Printf("sweeping minPts at eps=%g through one Clusterer (grid built once)\n", chosenEps)
+	fmt.Printf("%-10s %-10s %-10s %s\n", "minPts", "clusters", "noise%", "time")
+	c2, err := pdbscan.NewClustererFlat(pts.Data, pts.D, chosenEps)
+	if err != nil {
+		panic(err)
+	}
+	for _, mp := range []int{10, 25, 50, 100, 200, 500} {
 		start := time.Now()
-		res, err := c.Run(pdbscan.Config{MinPts: mp, Method: pdbscan.MethodExact, Bucketing: true})
+		res, err := c2.Run(pdbscan.Config{MinPts: mp, Method: pdbscan.MethodExact, Bucketing: true})
 		if err != nil {
 			panic(err)
 		}

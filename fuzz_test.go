@@ -223,6 +223,80 @@ func FuzzShardedCluster(f *testing.F) {
 	})
 }
 
+// FuzzHierarchyCut feeds arbitrary bytes as 2D points plus a query-radius
+// sequence and differentially checks the dendrogram path against the batch
+// path: one BuildHierarchy, then every radius in the sequence answered by
+// CutEps on the shared Hierarchy — whose union-find replay advances or
+// resets depending on the previous query — must be label-permutation-equal
+// to a from-scratch Cluster at the same radius. The fuzz surface is the
+// replay state machine under adversarial query orders and the exact-
+// threshold edge cases; the seeded corpus includes the shard suite's
+// exact-eps chain, where every query at the chain spacing is a boundary
+// decision.
+func FuzzHierarchyCut(f *testing.F) {
+	// Chain along x at exact spacing 1.0 with alternating y jitter (the
+	// FuzzShardedCluster layout): queried at the spacing itself, every link
+	// is a d == eps inclusive-boundary case.
+	chain := make([]byte, 0, 24*16)
+	for i := 0; i < 24; i++ {
+		var p [16]byte
+		binary.LittleEndian.PutUint64(p[:8], uint64(i*100))  // x = i * 1.0
+		binary.LittleEndian.PutUint64(p[8:], uint64(i%2*25)) // y jitter 0.25
+		chain = append(chain, p[:]...)
+	}
+	// Query fractions: 8/64 of buildEps 8 = 1.0 — exactly the chain spacing
+	// — surrounded by smaller and larger radii in a zigzag order.
+	f.Add(chain, []byte{8, 4, 8, 63, 8, 1}, uint8(2))
+	f.Add(bytes.Repeat([]byte{0}, 64), []byte{32, 16, 48}, uint8(1))
+	f.Add([]byte{255, 255, 0, 0, 128, 64, 32, 16, 8, 4, 2, 1, 9, 9, 9, 9}, []byte{5, 60, 30}, uint8(3))
+	f.Fuzz(func(t *testing.T, raw, epsSeq []byte, minPtsQ uint8) {
+		if len(raw) < 16 || len(epsSeq) == 0 {
+			return
+		}
+		if len(raw) > 48*16 {
+			raw = raw[:48*16]
+		}
+		if len(epsSeq) > 12 {
+			epsSeq = epsSeq[:12]
+		}
+		n := len(raw) / 16
+		rows := make([][]float64, 0, n)
+		for i := 0; i < n; i++ {
+			x := binary.LittleEndian.Uint64(raw[i*16:])
+			y := binary.LittleEndian.Uint64(raw[i*16+8:])
+			rows = append(rows, []float64{
+				float64(x%10000) / 100,
+				float64(y%10000) / 100,
+			})
+		}
+		const buildEps = 8.0
+		minPts := 1 + int(minPtsQ)%6
+		c, err := NewClusterer(rows, buildEps)
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		h, err := c.BuildHierarchy(minPts)
+		if err != nil {
+			t.Fatalf("BuildHierarchy: %v", err)
+		}
+		for qi, b := range epsSeq {
+			q := buildEps * float64(1+int(b)%64) / 64
+			cut, err := h.CutEps(q)
+			if err != nil {
+				t.Fatalf("CutEps(%v): %v", q, err)
+			}
+			batch, err := Cluster(rows, Config{Eps: q, MinPts: minPts})
+			if err != nil {
+				t.Fatalf("batch eps=%v: %v", q, err)
+			}
+			if err := equivalentResults(cut, batch); err != nil {
+				t.Fatalf("query %d eps=%v minPts=%d n=%d: hierarchy vs batch: %v",
+					qi, q, minPts, n, err)
+			}
+		}
+	})
+}
+
 // FuzzCSVReader checks that the CSV reader never panics and that whatever it
 // accepts round-trips through the writer.
 func FuzzCSVReader(f *testing.F) {

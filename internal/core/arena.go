@@ -63,6 +63,15 @@ type workerScratch struct {
 	nbrDist   []float64 // markCellCore: the distances of nbrOrder
 	cellOrder []int32   // clusterShard: per-shard size-sorted owned core cells
 	sorter    nbrSorter // markCellCore: allocation-free sort.Sort adapter
+
+	kthHeap   []float64    // cellCoreDistances: bounded max-heap of the k smallest d2
+	mrEdges   []MREdge     // mrEdgeParts: per-block candidate edge buffer
+	mrUF      unionfind.UF // mrEdgeParts: per-block Kruskal compaction state
+	primOwn   []int32      // cellMREdges: own-cell core-capable vertex list
+	primVerts []int32      // cellMREdges: per-cell-pair bipartite vertex list
+	primKey   []float64    // primForest: best edge weight to the growing tree
+	primFrom  []int32      // primForest: tree endpoint of the best edge
+	primSide  []bool       // primForest: bipartite side flag per vertex
 }
 
 // getRun checks a runScratch out of the arena (a fresh one when the arena is

@@ -92,7 +92,8 @@ type Params struct {
 
 	// PhaseHook, when non-nil, is called on the run's goroutine at the start
 	// of each pipeline phase with the phase's name: "mark", "collect",
-	// "graph", "merge" (sharded only), "label", "border". It exists for
+	// "graph", "merge" (sharded only), "label", "border" — and, for
+	// ComputeHierarchy builds, "coredist", "edges", "mst". It exists for
 	// observability and for tests that need a deterministic point inside a
 	// run (the cancellation suite cancels a context from it); it must be
 	// cheap and must not mutate pipeline state.
@@ -110,6 +111,11 @@ type PhaseTimings struct {
 	Merge   time.Duration // sharded boundary merge (RunSharded only)
 	Label   time.Duration // dense label assignment
 	Border  time.Duration // ClusterBorder (Algorithm 4)
+
+	// ComputeHierarchy phases (zero on clustering runs).
+	CoreDist time.Duration // per-point core distances
+	Edges    time.Duration // mutual-reachability candidate enumeration + per-block Kruskal
+	MST      time.Duration // global sort + final Kruskal merge
 }
 
 // Result is the clustering output.
@@ -261,6 +267,12 @@ func (st *pipeline) phase(name string) error {
 			st.phaseDur = &tm.Label
 		case "border":
 			st.phaseDur = &tm.Border
+		case "coredist":
+			st.phaseDur = &tm.CoreDist
+		case "edges":
+			st.phaseDur = &tm.Edges
+		case "mst":
+			st.phaseDur = &tm.MST
 		}
 	}
 	if st.p.PhaseHook != nil {

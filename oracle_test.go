@@ -11,7 +11,9 @@ package pdbscan
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"pdbscan/internal/geom"
@@ -290,6 +292,97 @@ func TestOracleConformance(t *testing.T) {
 							if err := equivalentResults(res, mono); err != nil {
 								t.Fatalf("%s shards=%d vs monolithic: %v", ctx, shards, err)
 							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// hierarchyQueryGrid derives the CutEps query radii for a layout: fixed
+// fractions of the build eps plus a sample of the exact pairwise distances
+// at most eps (computed O(n²); the layouts are small). Exact-distance
+// queries are the adversarial cases — d <= eps is inclusive, so a query at
+// precisely an edge's length must connect that edge on both paths.
+func hierarchyQueryGrid(rows [][]float64, eps float64) []float64 {
+	seen := map[float64]bool{}
+	var qs []float64
+	add := func(q float64) {
+		if q > 0 && q <= eps && !seen[q] {
+			seen[q] = true
+			qs = append(qs, q)
+		}
+	}
+	for _, f := range []float64{1, 0.75, 0.5, 0.25, 0.1} {
+		add(eps * f)
+	}
+	dists := map[float64]bool{}
+	for i := range rows {
+		for j := i + 1; j < len(rows); j++ {
+			d2 := 0.0
+			for k := range rows[i] {
+				dk := rows[i][k] - rows[j][k]
+				d2 += dk * dk
+			}
+			if d := math.Sqrt(d2); d > 0 && d <= eps {
+				dists[d] = true
+			}
+		}
+	}
+	ds := make([]float64, 0, len(dists))
+	for d := range dists {
+		ds = append(ds, d)
+	}
+	sort.Float64s(ds)
+	if len(ds) <= 8 {
+		for _, d := range ds {
+			add(d)
+		}
+	} else {
+		for k := 0; k < 8; k++ {
+			add(ds[k*(len(ds)-1)/7])
+		}
+	}
+	return qs
+}
+
+// TestOracleHierarchyConformance pins the tentpole equivalence: for every
+// layout × {2, 3, 5} dimensions × the layout's MinPts values, one
+// BuildHierarchy at the layout's eps must answer every query radius —
+// including exact edge distances — label-permutation-equal to a from-scratch
+// batch Cluster at that radius. The batch side is itself held to the
+// brute-force oracle by TestOracleConformance, so transitively CutEps is
+// oracle-exact too.
+func TestOracleHierarchyConformance(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		d := d
+		t.Run(fmt.Sprintf("d=%d", d), func(t *testing.T) {
+			t.Parallel()
+			for _, layout := range oracleLayouts {
+				rows := layout.gen(d)
+				queries := hierarchyQueryGrid(rows, layout.eps)
+				c, err := NewClusterer(rows, layout.eps)
+				if err != nil {
+					t.Fatalf("%s d=%d: %v", layout.name, d, err)
+				}
+				for _, minPts := range layout.minPts {
+					ctx := fmt.Sprintf("%s d=%d minPts=%d", layout.name, d, minPts)
+					h, err := c.BuildHierarchy(minPts)
+					if err != nil {
+						t.Fatalf("%s: BuildHierarchy: %v", ctx, err)
+					}
+					for _, q := range queries {
+						cut, err := h.CutEps(q)
+						if err != nil {
+							t.Fatalf("%s: CutEps(%v): %v", ctx, q, err)
+						}
+						batch, err := Cluster(rows, Config{Eps: q, MinPts: minPts})
+						if err != nil {
+							t.Fatalf("%s: batch at eps=%v: %v", ctx, q, err)
+						}
+						if err := equivalentResults(cut, batch); err != nil {
+							t.Fatalf("%s: CutEps(%v) vs batch: %v", ctx, q, err)
 						}
 					}
 				}
