@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-serve BENCH_serve.json] [-emst BENCH_emst.json] [-strict]
+//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-serve BENCH_serve.json] [-emst BENCH_emst.json] [-api BENCH_api.json] [-strict]
 //
 // A metric regresses when it drops more than 10% below the committed
 // baseline, or below the absolute floor the optimization was accepted at
@@ -20,8 +20,13 @@
 // -emst it gates the EMST-hierarchy report: the 16-eps sweep must stay at
 // least 5x faster than independent runs (a host-relative ratio), and every
 // cut must have been label-permutation-equal to its from-scratch run
-// (queries_equal=false is a hard error). Warnings annotate the PR; -strict
-// turns them into errors and a non-zero exit.
+// (queries_equal=false is a hard error). With -api it gates the HTTP load
+// report: the engine's sampled worker usage must never have exceeded its
+// budget, every 429/503 must have carried Retry-After, and no request may
+// have failed outside the designed backpressure statuses (all three hard
+// errors); session count and queue-wait p99 are gated softly, since absolute
+// latency is host-dependent. Warnings annotate the PR; -strict turns them
+// into errors and a non-zero exit.
 package main
 
 import (
@@ -46,6 +51,20 @@ type emstHeadline struct {
 	QueriesEqual      bool    `json:"queries_equal"`
 }
 
+// apiHeadline is the subset of the BENCH_api.json schema the gate reads.
+type apiHeadline struct {
+	Sessions         int     `json:"sessions"`
+	Requests         int64   `json:"requests"`
+	RunsCompleted    int64   `json:"runs_completed"`
+	Rate429          float64 `json:"rate_429"`
+	RetryAfterAlways bool    `json:"retry_after_always"`
+	ErrorsOther      int64   `json:"errors_other"`
+	LatencyP99NS     int64   `json:"latency_p99_ns"`
+	QueueP99NS       int64   `json:"queue_p99_ns"`
+	BudgetConformant bool    `json:"budget_conformant"`
+	DrainedCleanly   bool    `json:"drained_cleanly"`
+}
+
 // serveHeadline is the subset of the BENCH_serve.json schema the gate reads.
 type serveHeadline struct {
 	N                   int   `json:"n"`
@@ -65,12 +84,18 @@ const (
 	grace                 = 0.9 // >10% below a reference counts as a regression
 	floorCancelLatency    = 50 * time.Millisecond
 	floorEmstAmortization = 5.0
+	// API load gate: soft ceilings only — absolute latency depends on the
+	// runner, so the hard gates are the boolean invariants.
+	floorAPISessions = 200
+	ceilAPIQueueP99  = 5 * time.Second
+	ceilAPIE2EP99    = 30 * time.Second
 )
 
 func main() {
 	freshPath := flag.String("fresh", "BENCH_hot.json", "freshly generated report to check")
 	basePath := flag.String("baseline", "", "committed baseline report to compare against (optional)")
 	servePath := flag.String("serve", "", "freshly generated BENCH_serve.json to gate (optional)")
+	apiPath := flag.String("api", "", "freshly generated BENCH_api.json to gate (optional)")
 	emstPath := flag.String("emst", "", "freshly generated BENCH_emst.json to gate (optional)")
 	strict := flag.Bool("strict", false, "exit non-zero (and annotate as errors) on regression")
 	flag.Parse()
@@ -143,6 +168,56 @@ func main() {
 		}
 	}
 
+	if *apiPath != "" {
+		api, err := readAPI(*apiPath)
+		if err != nil {
+			fmt.Printf("::error ::benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		// Invariants of the serving contract: hard errors regardless of
+		// -strict. Backpressure (429s) is designed behavior; anything else
+		// failing is not.
+		if !api.BudgetConformant {
+			fmt.Println("::error ::api: engine worker usage exceeded the shared budget under HTTP load (budget_conformant=false)")
+			hardFail = true
+		}
+		if !api.RetryAfterAlways {
+			fmt.Println("::error ::api: a 429/503 response was missing its Retry-After header (retry_after_always=false)")
+			hardFail = true
+		}
+		if api.ErrorsOther > 0 {
+			fmt.Printf("::error ::api: %d requests failed outside the designed 429/503 backpressure\n", api.ErrorsOther)
+			hardFail = true
+		}
+		if !api.DrainedCleanly {
+			fmt.Println("::error ::api: graceful drain did not complete (drained_cleanly=false)")
+			hardFail = true
+		}
+		warn := func(format string, args ...any) {
+			level := "warning"
+			if *strict {
+				level = "error"
+			}
+			regressed = true
+			fmt.Printf("::"+level+" ::"+format+"\n", args...)
+		}
+		if api.Sessions < floorAPISessions {
+			warn("api: %d concurrent sessions, below the %d-session load floor", api.Sessions, floorAPISessions)
+		}
+		if time.Duration(api.QueueP99NS) > ceilAPIQueueP99 {
+			warn("api: queue-wait p99 %v exceeds the %v ceiling", time.Duration(api.QueueP99NS), ceilAPIQueueP99)
+		}
+		if time.Duration(api.LatencyP99NS) > ceilAPIE2EP99 {
+			warn("api: end-to-end p99 %v exceeds the %v ceiling", time.Duration(api.LatencyP99NS), ceilAPIE2EP99)
+		}
+		if api.BudgetConformant && api.RetryAfterAlways && api.ErrorsOther == 0 && api.DrainedCleanly {
+			fmt.Printf("benchgate: api ok (%d sessions, %d requests, %d runs, 429 rate %.1f%%, queue p99 %v, e2e p99 %v)\n",
+				api.Sessions, api.Requests, api.RunsCompleted, 100*api.Rate429,
+				time.Duration(api.QueueP99NS).Round(time.Microsecond),
+				time.Duration(api.LatencyP99NS).Round(time.Microsecond))
+		}
+	}
+
 	if *emstPath != "" {
 		emst, err := readEmst(*emstPath)
 		if err != nil {
@@ -177,6 +252,21 @@ func main() {
 	if hardFail || (regressed && *strict) {
 		os.Exit(1)
 	}
+}
+
+func readAPI(path string) (*apiHeadline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a apiHeadline
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Sessions == 0 || a.Requests == 0 {
+		return nil, fmt.Errorf("%s: missing api metrics", path)
+	}
+	return &a, nil
 }
 
 func readEmst(path string) (*emstHeadline, error) {

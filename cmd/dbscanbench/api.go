@@ -1,0 +1,389 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdbscan/engine"
+	"pdbscan/internal/geom"
+	"pdbscan/serve"
+)
+
+// apiReport is the BENCH_api.json schema: the HTTP serving layer under a
+// storm of concurrent sessions mixing batch runs, streaming ticks, and
+// hierarchy cuts over one shared worker budget. The queue is sized well below
+// the offered concurrency so organic 429 backpressure is part of the measured
+// behavior, not an error. cmd/benchgate -api gates the booleans hard
+// (budget conformance, Retry-After on every 429/503, zero unexpected errors)
+// and the latency figures softly.
+type apiReport struct {
+	Sessions         int `json:"sessions"`
+	PointsPerSession int `json:"points_per_session"`
+	Budget           int `json:"budget"`
+	MaxQueue         int `json:"max_queue"`
+
+	Requests      int64   `json:"requests"`       // HTTP attempts, retries included
+	RunsCompleted int64   `json:"runs_completed"` // runs/ticks/cuts that returned done
+	Responses429  int64   `json:"responses_429"`
+	Rate429       float64 `json:"rate_429"`
+	// RetryAfterAlways: every 429/503 response carried a Retry-After header.
+	RetryAfterAlways bool `json:"retry_after_always"`
+	// ErrorsOther: responses outside {2xx, 429} — must be zero.
+	ErrorsOther int64 `json:"errors_other"`
+
+	// End-to-end HTTP latency per attempt (client-measured), and server-side
+	// queue wait per completed run (from the response's stats.queued_ns).
+	LatencyP50NS int64 `json:"latency_p50_ns"`
+	LatencyP90NS int64 `json:"latency_p90_ns"`
+	LatencyP99NS int64 `json:"latency_p99_ns"`
+	LatencyMaxNS int64 `json:"latency_max_ns"`
+	QueueP50NS   int64 `json:"queue_p50_ns"`
+	QueueP99NS   int64 `json:"queue_p99_ns"`
+
+	WallNS    int64   `json:"wall_ns"`
+	ReqPerSec float64 `json:"req_per_sec"`
+
+	// Sampled engine conformance: WorkersInUse never above Budget.
+	MaxWorkersInUse  int  `json:"max_workers_in_use"`
+	BudgetConformant bool `json:"budget_conformant"`
+	// DrainedCleanly: Drain -> http.Server.Shutdown -> Close finished with
+	// every in-flight request answered.
+	DrainedCleanly bool `json:"drained_cleanly"`
+}
+
+// apiLoad is the shared client state of the load run: one pooled HTTP client
+// plus the latency/outcome accumulators every session goroutine feeds.
+type apiLoad struct {
+	base       string
+	c          *http.Client
+	retrySleep time.Duration
+
+	requests     atomic.Int64
+	resp429      atomic.Int64
+	errOther     atomic.Int64
+	runsDone     atomic.Int64
+	missingRetry atomic.Int64 // 429/503 responses without Retry-After
+
+	mu        sync.Mutex
+	latencies []int64
+	queueNS   []int64
+}
+
+// do issues one JSON request, retrying on 429/503 after the advertised
+// Retry-After. Every attempt's end-to-end latency is recorded. Responses
+// outside {2xx, 429, 503} count as errOther and return an error.
+func (l *apiLoad) do(method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, l.base+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		resp, err := l.c.Do(req)
+		lat := time.Since(t0).Nanoseconds()
+		l.requests.Add(1)
+		if err != nil {
+			l.errOther.Add(1)
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		l.mu.Lock()
+		l.latencies = append(l.latencies, lat)
+		l.mu.Unlock()
+
+		switch {
+		case resp.StatusCode < 300:
+			if out != nil {
+				return json.Unmarshal(raw, out)
+			}
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			if resp.StatusCode == http.StatusTooManyRequests {
+				l.resp429.Add(1)
+			}
+			sleep := l.retrySleep
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				l.missingRetry.Add(1)
+			} else if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				sleep = time.Duration(secs) * time.Second
+			}
+			if attempt > 120 {
+				l.errOther.Add(1)
+				return fmt.Errorf("%s %s: still %d after %d attempts", method, path, resp.StatusCode, attempt)
+			}
+			time.Sleep(sleep)
+		default:
+			l.errOther.Add(1)
+			return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(raw))
+		}
+	}
+}
+
+// run submits one wait=true run and folds its result into the accumulators.
+func (l *apiLoad) run(sessID string, req serve.SubmitRunRequest) error {
+	var st serve.RunStatus
+	if err := l.do("POST", "/v1/sessions/"+sessID+"/runs", req, &st); err != nil {
+		return err
+	}
+	if st.State != "done" {
+		l.errOther.Add(1)
+		return fmt.Errorf("run on %s: state %q (%s)", sessID, st.State, st.Error)
+	}
+	l.runsDone.Add(1)
+	if st.Stats != nil {
+		l.mu.Lock()
+		l.queueNS = append(l.queueNS, st.Stats.QueuedNS)
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+func rowsOf(pts geom.Points) [][]float64 {
+	rows := make([][]float64, pts.N)
+	for i := 0; i < pts.N; i++ {
+		rows[i] = pts.Data[i*pts.D : (i+1)*pts.D]
+	}
+	return rows
+}
+
+func apiPct(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// expAPI drives the dbscand serving stack (package serve over a real TCP
+// listener) with hundreds of concurrent sessions — a third each batch,
+// streaming, and hierarchy — against a deliberately small admission queue,
+// and records BENCH_api.json.
+func expAPI(o options) {
+	threads := o.threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	const sessions = 200
+	const maxQueue = 64
+	const eps = 1000.0
+	perSession := o.n / sessions
+	if perSession < 200 {
+		perSession = 200
+	}
+	if perSession > 5000 {
+		perSession = 5000
+	}
+
+	srv := serve.New(serve.Options{
+		Engine:      engine.Options{Budget: threads, MaxQueue: maxQueue},
+		MaxSessions: sessions + 8,
+		RetryAfter:  time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("api: listen: %v", err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+
+	load := &apiLoad{
+		base: "http://" + ln.Addr().String(),
+		c: &http.Client{
+			Transport: &http.Transport{MaxIdleConns: sessions + 16, MaxIdleConnsPerHost: sessions + 16},
+			Timeout:   5 * time.Minute,
+		},
+		retrySleep: 250 * time.Millisecond,
+	}
+	rep := apiReport{
+		Sessions: sessions, PointsPerSession: perSession,
+		Budget: srv.Engine().Budget(), MaxQueue: maxQueue,
+		RetryAfterAlways: true, BudgetConformant: true,
+	}
+	fmt.Printf("api: %d concurrent sessions x %d points on %s (budget %d, queue %d)\n",
+		sessions, perSession, load.base, rep.Budget, maxQueue)
+
+	// Budget-conformance sampler, same cadence as the serve experiment.
+	stop := make(chan struct{})
+	var maxInUse, violated atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := srv.Engine().Stats()
+			if int64(st.WorkersInUse) > maxInUse.Load() {
+				maxInUse.Store(int64(st.WorkersInUse))
+			}
+			if st.WorkersInUse > st.Budget {
+				violated.Add(1)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Two phases behind a barrier: every session is created first, then all
+	// of them fire their first run in one volley. 200 simultaneous wait-runs
+	// against a 64-slot queue guarantees the 429 backpressure path is part of
+	// the measured workload rather than a lucky scheduling accident.
+	start := time.Now()
+	var wg, created sync.WaitGroup
+	created.Add(sessions)
+	gate := make(chan struct{})
+	errc := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows := rowsOf(loadDataset("ss-varden-2d", perSession, o.seed+int64(i)))
+			prio := i % 4
+			var err error
+			switch i % 3 {
+			case 0: // batch: create once, sweep minPts.
+				var info serve.SessionInfo
+				err = load.do("POST", "/v1/sessions",
+					serve.CreateSessionRequest{Kind: "batch", Eps: eps, Points: rows}, &info)
+				created.Done()
+				<-gate
+				if err != nil {
+					break
+				}
+				for _, mp := range []int{10, 50, 100} {
+					if err = load.run(info.ID, serve.SubmitRunRequest{
+						Config: serve.ConfigJSON{MinPts: mp}, Priority: prio, DeadlineMillis: 120000, Wait: true,
+					}); err != nil {
+						break
+					}
+				}
+			case 1: // streaming: insert, tick, insert, shrink window, tick.
+				var info serve.SessionInfo
+				err = load.do("POST", "/v1/sessions",
+					serve.CreateSessionRequest{Kind: "streaming", Eps: eps, Dims: 2}, &info)
+				created.Done()
+				<-gate
+				if err != nil {
+					break
+				}
+				half := len(rows) / 2
+				path := "/v1/sessions/" + info.ID
+				if err = load.do("POST", path+"/points", serve.InsertPointsRequest{Points: rows[:half]}, nil); err != nil {
+					break
+				}
+				if err = load.run(info.ID, serve.SubmitRunRequest{
+					Config: serve.ConfigJSON{MinPts: 10}, Priority: prio, DeadlineMillis: 120000, Wait: true,
+				}); err != nil {
+					break
+				}
+				if err = load.do("POST", path+"/points", serve.InsertPointsRequest{Points: rows[half:]}, nil); err != nil {
+					break
+				}
+				if err = load.do("POST", path+"/window", serve.WindowRequest{N: 3 * len(rows) / 4}, nil); err != nil {
+					break
+				}
+				err = load.run(info.ID, serve.SubmitRunRequest{
+					Config: serve.ConfigJSON{MinPts: 10}, Priority: prio, DeadlineMillis: 120000, Wait: true,
+				})
+			case 2: // hierarchy: one build, three eps cuts.
+				var info serve.SessionInfo
+				err = load.do("POST", "/v1/sessions",
+					serve.CreateSessionRequest{Kind: "hierarchy", Eps: eps, MinPts: 10, Points: rows}, &info)
+				created.Done()
+				<-gate
+				if err != nil {
+					break
+				}
+				for _, cut := range []float64{eps / 4, eps / 2, eps} {
+					if err = load.run(info.ID, serve.SubmitRunRequest{
+						Config: serve.ConfigJSON{Eps: cut}, Priority: prio, DeadlineMillis: 120000, Wait: true,
+					}); err != nil {
+						break
+					}
+				}
+			}
+			if err != nil {
+				errc <- fmt.Errorf("session %d: %w", i, err)
+			}
+		}(i)
+	}
+	created.Wait()
+	close(gate)
+	wg.Wait()
+	wall := time.Since(start)
+	close(stop)
+	close(errc)
+	for err := range errc {
+		fmt.Printf("api: ERROR %v\n", err)
+	}
+
+	// Drain in the documented order and confirm it completes.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep.DrainedCleanly = hs.Shutdown(ctx) == nil
+	srv.Close()
+
+	rep.Requests = load.requests.Load()
+	rep.RunsCompleted = load.runsDone.Load()
+	rep.Responses429 = load.resp429.Load()
+	if rep.Requests > 0 {
+		rep.Rate429 = float64(rep.Responses429) / float64(rep.Requests)
+	}
+	rep.RetryAfterAlways = load.missingRetry.Load() == 0
+	rep.ErrorsOther = load.errOther.Load()
+	rep.WallNS = wall.Nanoseconds()
+	rep.ReqPerSec = float64(rep.Requests) / wall.Seconds()
+	rep.MaxWorkersInUse = int(maxInUse.Load())
+	rep.BudgetConformant = violated.Load() == 0
+
+	sort.Slice(load.latencies, func(i, j int) bool { return load.latencies[i] < load.latencies[j] })
+	sort.Slice(load.queueNS, func(i, j int) bool { return load.queueNS[i] < load.queueNS[j] })
+	rep.LatencyP50NS = apiPct(load.latencies, 0.50)
+	rep.LatencyP90NS = apiPct(load.latencies, 0.90)
+	rep.LatencyP99NS = apiPct(load.latencies, 0.99)
+	rep.LatencyMaxNS = apiPct(load.latencies, 1)
+	rep.QueueP50NS = apiPct(load.queueNS, 0.50)
+	rep.QueueP99NS = apiPct(load.queueNS, 0.99)
+
+	tbl := newTable(fmt.Sprintf("API load: %d sessions, %d requests in %v", sessions, rep.Requests, wall.Round(time.Millisecond)),
+		"metric", "value")
+	tbl.add("runs completed", fmt.Sprint(rep.RunsCompleted))
+	tbl.add("requests/s", fmt.Sprintf("%.1f", rep.ReqPerSec))
+	tbl.add("429 rate", fmt.Sprintf("%.1f%% (%d)", 100*rep.Rate429, rep.Responses429))
+	tbl.add("Retry-After on every 429/503", fmt.Sprint(rep.RetryAfterAlways))
+	tbl.add("other errors", fmt.Sprint(rep.ErrorsOther))
+	tbl.add("e2e latency p50/p90/p99", fmt.Sprintf("%v / %v / %v",
+		time.Duration(rep.LatencyP50NS).Round(time.Microsecond),
+		time.Duration(rep.LatencyP90NS).Round(time.Microsecond),
+		time.Duration(rep.LatencyP99NS).Round(time.Microsecond)))
+	tbl.add("queue wait p50/p99", fmt.Sprintf("%v / %v",
+		time.Duration(rep.QueueP50NS).Round(time.Microsecond),
+		time.Duration(rep.QueueP99NS).Round(time.Microsecond)))
+	tbl.add("budget / max in use / conformant", fmt.Sprintf("%d / %d / %v", rep.Budget, rep.MaxWorkersInUse, rep.BudgetConformant))
+	tbl.add("drained cleanly", fmt.Sprint(rep.DrainedCleanly))
+	tbl.print()
+
+	if o.jsonPath != "" {
+		writeJSON(o.jsonPath, rep)
+		fmt.Printf("wrote %s\n", o.jsonPath)
+	}
+}

@@ -1,0 +1,89 @@
+// Command dbscand serves pdbscan over HTTP: a session-oriented JSON API
+// (package serve) in front of the job-scheduling engine. Clients create
+// sessions holding a Clusterer, StreamingClusterer, or prebuilt Hierarchy,
+// then submit batch runs, streaming inserts/ticks, and eps-cut queries as
+// jobs with per-request priority and deadline; backpressure from the bounded
+// admission queue surfaces as 429s with Retry-After, and GET /metrics exposes
+// Prometheus-style scheduler and latency telemetry.
+//
+// Usage:
+//
+//	dbscand [-addr :8080] [-budget 0] [-max-queue 64] [-queue-timeout 0]
+//	        [-max-sessions 4096] [-retry-after 1s]
+//
+// A quick session through curl:
+//
+//	dbscand -addr :8080 &
+//	curl -s localhost:8080/v1/sessions -d '{"kind":"batch","eps":10,"points":[[0,0],[1,1],[2,0],[50,50],[51,50],[50,51]]}'
+//	curl -s localhost:8080/v1/sessions/s1/runs -d '{"config":{"min_pts":3},"wait":true}'
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the server drains gracefully, in order: admission stops
+// (new mutating requests get 503 + Retry-After), the HTTP server shuts down
+// (in-flight handlers, including wait=true runs, finish), and only then the
+// engine closes (running jobs complete; still-queued async jobs settle with
+// ErrClosed and report 503 on fetch).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pdbscan/engine"
+	"pdbscan/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	budget := flag.Int("budget", 0, "total worker budget shared by all jobs (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", engine.DefaultMaxQueue, "admission queue bound; submissions beyond it get 429")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max queue wait before a job is rejected with 504 (0 = none)")
+	maxSessions := flag.Int("max-sessions", serve.DefaultMaxSessions, "live session bound; creates beyond it get 429")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429/503 responses")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Engine: engine.Options{
+			Budget:       *budget,
+			MaxQueue:     *maxQueue,
+			QueueTimeout: *queueTimeout,
+		},
+		MaxSessions: *maxSessions,
+		RetryAfter:  *retryAfter,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dbscand: listening on %s (budget %d, queue %d)\n",
+		*addr, srv.Engine().Budget(), *maxQueue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "dbscand: %v\n", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "dbscand: %v, draining\n", got)
+	}
+
+	// Drain in order: stop admission, let in-flight handlers finish, then
+	// close the engine under no HTTP traffic.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dbscand: shutdown: %v\n", err)
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "dbscand: drained")
+}

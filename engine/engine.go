@@ -236,19 +236,24 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		e.mu.Unlock()
 		return nil, ErrClosed
 	}
-	j.seq = e.seq
-	e.seq++
 	if e.queue.Len() == 0 && e.avail >= workers {
+		j.seq = e.seq
+		e.seq++
 		e.submitted++
 		e.startLocked(j)
 		e.mu.Unlock()
 		return j, nil
 	}
 	if e.queue.Len() >= e.maxQueue {
+		// Rejected submissions consume no scheduler state — in particular no
+		// seq, so admitted jobs keep a dense FIFO order even under a storm of
+		// ErrQueueFull rejections.
 		e.rejected++
 		e.mu.Unlock()
 		return nil, ErrQueueFull
 	}
+	j.seq = e.seq
+	e.seq++
 	e.submitted++
 	// Watchers are registered before the job becomes visible to the
 	// scheduler, and under the lock, so a dispatch (startLocked stops them)
@@ -344,6 +349,10 @@ func (e *Engine) finishQueued(j *Job, err error, counter *uint64) {
 		return
 	}
 	heap.Remove(&e.queue, j.idx)
+	// The job waited and is leaving the queue without running; record the
+	// true wait so JobStats.Queued (and any latency histogram built on it)
+	// reports timed-out and cancelled jobs honestly instead of as 0.
+	j.queuedFor = time.Since(j.submitted)
 	if counter != nil {
 		*counter++
 	}
@@ -378,6 +387,7 @@ func (e *Engine) Close() {
 	var dropped []*Job
 	for e.queue.Len() > 0 {
 		j := heap.Pop(&e.queue).(*Job)
+		j.queuedFor = time.Since(j.submitted)
 		if j.timer != nil {
 			j.timer.Stop()
 		}
@@ -432,9 +442,11 @@ type Job struct {
 	timer        *time.Timer
 	stopCtxWatch func() bool
 
-	// started/queuedFor are written by startLocked under e.mu; ranFor, res,
-	// sres, and err are written by the completing goroutine before done is
-	// closed (the close is the happens-before edge readers synchronize on).
+	// started/queuedFor are written under e.mu by exactly one of startLocked,
+	// finishQueued, or Close (the queue-exit paths are mutually exclusive via
+	// idx/closed); ranFor, res, sres, and err are written by the completing
+	// goroutine before done is closed (the close is the happens-before edge
+	// readers synchronize on).
 	started   time.Time
 	queuedFor time.Duration
 	ranFor    time.Duration
@@ -475,9 +487,10 @@ func (j *Job) StreamResult() (*pdbscan.StreamResult, error) {
 type JobStats struct {
 	// Workers is the cap the job was (or will be) granted from the budget.
 	Workers int
-	// Queued is how long the job waited before dispatch (0 if it started
-	// immediately; for a job rejected from the queue, the wait until
-	// rejection is not recorded).
+	// Queued is how long the job waited in the queue before leaving it — by
+	// dispatch, queue timeout, context cancellation, or a Close sweep —
+	// near zero if it started immediately. (A Submit rejected outright with
+	// ErrQueueFull returns no Job, so there is nothing to record.)
 	Queued time.Duration
 	// Run is the execution time (0 if the job never ran).
 	Run time.Duration

@@ -173,9 +173,12 @@ func TestEngineMixedConcurrent(t *testing.T) {
 // dataset size makes far slower than the test) it pins the entire budget.
 func saturate(t *testing.T, e *Engine) (*Job, context.CancelFunc) {
 	t.Helper()
-	c := mustClusterer(t, genPoints(300000, 99), 1.5)
+	// MinPts far above any neighborhood size keeps core counting from
+	// early-exiting, so the run blocks for tens of seconds unless cancelled
+	// (and cancellation lands within milliseconds).
+	c := mustClusterer(t, genPoints(300000, 99), 2)
 	ctx, cancel := context.WithCancel(context.Background())
-	j, err := e.Submit(ctx, Request{Clusterer: c, Config: pdbscan.Config{Eps: 1.5, MinPts: 10}})
+	j, err := e.Submit(ctx, Request{Clusterer: c, Config: pdbscan.Config{Eps: 2, MinPts: 200000}})
 	if err != nil {
 		t.Fatalf("Submit blocker: %v", err)
 	}
@@ -234,17 +237,17 @@ func TestEnginePriorityOrder(t *testing.T) {
 func TestEngineDequeueDispatchesNewHead(t *testing.T) {
 	e := New(Options{Budget: 8})
 	defer e.Close()
-	big := mustClusterer(t, genPoints(300000, 98), 1.5)
+	big := mustClusterer(t, genPoints(300000, 98), 2)
 	ctxB, cancelB := context.WithCancel(context.Background())
 	defer cancelB()
-	blocker, err := e.Submit(ctxB, Request{Clusterer: big, Config: pdbscan.Config{Eps: 1.5, MinPts: 10, Workers: 6}})
+	blocker, err := e.Submit(ctxB, Request{Clusterer: big, Config: pdbscan.Config{Eps: 2, MinPts: 200000, Workers: 6}})
 	if err != nil {
 		t.Fatalf("Submit blocker: %v", err)
 	}
 	// Head: wants the whole budget, cannot fit beside the blocker.
 	ctx1, cancel1 := context.WithCancel(context.Background())
 	defer cancel1()
-	j1, err := e.Submit(ctx1, Request{Clusterer: big, Config: pdbscan.Config{Eps: 1.5, MinPts: 10, Workers: 8}})
+	j1, err := e.Submit(ctx1, Request{Clusterer: big, Config: pdbscan.Config{Eps: 2, MinPts: 200000, Workers: 8}})
 	if err != nil {
 		t.Fatalf("Submit head: %v", err)
 	}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pdbscan"
+)
+
+// The queue-wait regression suite: a job that waited in the queue and then
+// left it WITHOUT running (queue timeout, context cancellation, Close sweep)
+// must still report its true wait via Job.Stats().Queued. The seed behavior
+// recorded 0 on every one of these paths — only dispatch set queuedFor.
+
+func TestJobStatsQueuedOnQueueTimeout(t *testing.T) {
+	const timeout = 30 * time.Millisecond
+	e := New(Options{Budget: 1, QueueTimeout: timeout})
+	defer e.Close()
+	blocker, release := saturate(t, e)
+	defer release()
+
+	c := mustClusterer(t, genPoints(500, 31), 2)
+	j, err := e.Submit(context.Background(), Request{Clusterer: c, Config: pdbscan.Config{Eps: 2, MinPts: 5}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := j.Err(); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	// The timer fires no earlier than QueueTimeout and queuedFor is measured
+	// after it fires, so the recorded wait is at least the timeout.
+	if q := j.Stats().Queued; q < timeout {
+		t.Fatalf("timed-out job Stats().Queued = %v, want >= %v", q, timeout)
+	}
+	release()
+	blocker.Err()
+}
+
+func TestJobStatsQueuedOnCancel(t *testing.T) {
+	e := New(Options{Budget: 1})
+	defer e.Close()
+	blocker, release := saturate(t, e)
+	defer release()
+
+	c := mustClusterer(t, genPoints(500, 32), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := e.Submit(ctx, Request{Clusterer: c, Config: pdbscan.Config{Eps: 2, MinPts: 5}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	const wait = 20 * time.Millisecond
+	time.Sleep(wait)
+	cancel()
+	if err := j.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The job sat queued for at least the sleep between Submit returning and
+	// cancel().
+	if q := j.Stats().Queued; q < wait {
+		t.Fatalf("cancelled job Stats().Queued = %v, want >= %v", q, wait)
+	}
+	release()
+	blocker.Err()
+}
+
+func TestJobStatsQueuedOnClose(t *testing.T) {
+	e := New(Options{Budget: 1})
+	blocker, release := saturate(t, e)
+
+	c := mustClusterer(t, genPoints(500, 33), 2)
+	j, err := e.Submit(context.Background(), Request{Clusterer: c, Config: pdbscan.Config{Eps: 2, MinPts: 5}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	const wait = 20 * time.Millisecond
+	time.Sleep(wait)
+	done := make(chan struct{})
+	go func() {
+		e.Close()
+		close(done)
+	}()
+	if err := j.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if q := j.Stats().Queued; q < wait {
+		t.Fatalf("swept job Stats().Queued = %v, want >= %v", q, wait)
+	}
+	release()
+	blocker.Err()
+	<-done
+}
+
+// TestEngineRejectedSubmitBurnsNoSeq pins that an ErrQueueFull rejection
+// consumes no scheduler state: the FIFO sequence stays dense across admitted
+// jobs no matter how many submissions bounced off the full queue.
+func TestEngineRejectedSubmitBurnsNoSeq(t *testing.T) {
+	e := New(Options{Budget: 1, MaxQueue: 1})
+	defer e.Close()
+	blocker, release := saturate(t, e) // seq 0
+	defer release()
+
+	c := mustClusterer(t, genPoints(500, 34), 2)
+	cfg := pdbscan.Config{Eps: 2, MinPts: 5}
+	j1, err := e.Submit(context.Background(), Request{Clusterer: c, Config: cfg}) // seq 1, fills the queue
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Submit(context.Background(), Request{Clusterer: c, Config: cfg}); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("Submit %d over MaxQueue: err = %v, want ErrQueueFull", i, err)
+		}
+	}
+	e.mu.Lock()
+	seq := e.seq
+	e.mu.Unlock()
+	if seq != 2 {
+		t.Fatalf("seq = %d after 2 admitted + 5 rejected submissions, want 2 (rejections must not burn seq)", seq)
+	}
+	if st := e.Stats(); st.Submitted != 2 || st.Rejected != 5 {
+		t.Fatalf("Submitted/Rejected = %d/%d, want 2/5", st.Submitted, st.Rejected)
+	}
+	release()
+	blocker.Err()
+	j1.Err()
+}
+
+// TestEngineStatsIdentityStress hammers one Engine with concurrent submits,
+// cancellations, deadlines, queue timeouts, and a mid-flight Close, while a
+// sampler continuously checks the documented Stats identity:
+//
+//	Submitted = Queued + Running + Completed + Cancelled + TimedOut + Closed + Failed
+//
+// Every counter mutation happens under the same lock acquisition as its state
+// transition, so the identity must hold at every snapshot — run under -race.
+func TestEngineStatsIdentityStress(t *testing.T) {
+	c := mustClusterer(t, genPoints(400, 41), 3)
+	s, err := pdbscan.NewStreamingClusterer(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(genPoints(400, 42)); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Budget: 2, MaxQueue: 4, QueueTimeout: 2 * time.Millisecond})
+
+	checkIdentity := func(st Stats) {
+		terminal := st.Completed + st.Cancelled + st.TimedOut + st.Closed + st.Failed
+		if st.Submitted != uint64(st.Queued)+uint64(st.Running)+terminal {
+			t.Errorf("stats identity violated: Submitted %d != Queued %d + Running %d + terminal %d (%+v)",
+				st.Submitted, st.Queued, st.Running, terminal, st)
+		}
+	}
+
+	stop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			checkIdentity(e.Stats())
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	var jobs sync.Map // *Job -> struct{}
+	var wg sync.WaitGroup
+	const submitters = 8
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			var cancels []context.CancelFunc
+			defer func() {
+				for _, cancel := range cancels {
+					cancel()
+				}
+			}()
+			for i := 0; i < 40; i++ {
+				req := Request{Clusterer: c, Config: pdbscan.Config{Eps: 3, MinPts: 8, Workers: 1 + g%2}, Priority: g % 3}
+				if g%3 == 1 {
+					req = Request{Streaming: s, Config: pdbscan.Config{Eps: 3, MinPts: 8, Workers: 1}}
+				}
+				ctx := context.Background()
+				switch i % 4 {
+				case 1:
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithCancel(ctx)
+					cancels = append(cancels, cancel)
+					time.AfterFunc(time.Duration(rng.Intn(3000))*time.Microsecond, cancel)
+				case 2:
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(1+rng.Intn(2000))*time.Microsecond)
+					cancels = append(cancels, cancel)
+				}
+				j, err := e.Submit(ctx, req)
+				switch {
+				case err == nil:
+					jobs.Store(j, struct{}{})
+				case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed),
+					errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					// Tolerated submit-time outcomes under the storm.
+				default:
+					t.Errorf("Submit: %v", err)
+				}
+			}
+		}(g)
+	}
+
+	// Close the engine while submitters are still going: the sweep races
+	// dispatch, ctx watchers, and queue timers, which is exactly the window
+	// the identity must survive.
+	time.Sleep(20 * time.Millisecond)
+	e.Close()
+	wg.Wait()
+
+	jobs.Range(func(k, _ any) bool {
+		k.(*Job).Err() // every admitted job must complete
+		return true
+	})
+	close(stop)
+	<-samplerDone
+
+	st := e.Stats()
+	if st.Queued != 0 || st.Running != 0 || st.WorkersInUse != 0 {
+		t.Fatalf("engine not drained after Close: %+v", st)
+	}
+	checkIdentity(st)
+	if st.Submitted == 0 {
+		t.Fatal("stress produced no admitted jobs")
+	}
+}

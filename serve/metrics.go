@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"pdbscan/engine"
+)
+
+// metrics holds the server-side counters and latency histograms exported by
+// GET /metrics. Engine counters are read live from Engine.Stats at render
+// time; only what the engine cannot know — HTTP response codes and per-job
+// latency distributions — is accumulated here.
+type metrics struct {
+	mu        sync.Mutex
+	responses map[int]uint64
+	queue     *histogram // per-job queue wait (every admitted job, ran or not)
+	run       *histogram // per-job execution time (jobs that ran)
+}
+
+// histBounds are the histogram bucket upper bounds in seconds: a short
+// exponential ladder from 500µs to 10s, enough to separate "dispatched
+// immediately" from "sat behind the queue" without prometheus-client
+// dependencies or cardinality bloat.
+var histBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+func newMetrics() *metrics {
+	return &metrics{
+		responses: make(map[int]uint64),
+		queue:     newHistogram(histBounds),
+		run:       newHistogram(histBounds),
+	}
+}
+
+func (m *metrics) countResponse(code int) {
+	m.mu.Lock()
+	m.responses[code]++
+	m.mu.Unlock()
+}
+
+// recordJob feeds a settled job's scheduling stats into the histograms. The
+// queue histogram deliberately includes jobs that never ran — timed out,
+// cancelled while queued, swept by Close — whose JobStats.Queued records the
+// true wait; dropping them would bias the queue-latency distribution toward
+// the happy path exactly when the service is overloaded.
+func (m *metrics) recordJob(j *engine.Job) {
+	st := j.Stats()
+	m.queue.observe(st.Queued.Seconds())
+	if st.Run > 0 {
+		m.run.observe(st.Run.Seconds())
+	}
+}
+
+// histogram is a fixed-bound cumulative histogram (Prometheus semantics:
+// bucket counts are cumulative, +Inf equals _count). Observations are
+// per-job-completion, so a mutex is plenty.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts aligned with bounds (plus the
+// implicit +Inf = total), the sum, and the count.
+func (h *histogram) snapshot() (cum []uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.bounds))
+	acc := uint64(0)
+	for i := range h.bounds {
+		acc += h.counts[i]
+		cum[i] = acc
+	}
+	return cum, h.sum, h.total
+}
+
+func (h *histogram) writeTo(w http.ResponseWriter, name, help string) {
+	cum, sum, total := h.snapshot()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, sum, name, total)
+}
+
+// handleMetrics renders the Prometheus-style text page: engine scheduler
+// state, HTTP response counts, session gauges with per-session last-run
+// observability, and the job latency histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	st := s.eng.Stats()
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("dbscand_engine_queued", "jobs waiting in the admission queue", st.Queued)
+	gauge("dbscand_engine_running", "jobs in flight", st.Running)
+	gauge("dbscand_engine_workers_in_use", "worker budget consumed by running jobs", st.WorkersInUse)
+	gauge("dbscand_engine_worker_budget", "total shared worker budget", st.Budget)
+	counter("dbscand_engine_submitted_total", "jobs admitted (queued or started)", st.Submitted)
+	counter("dbscand_engine_completed_total", "jobs finished with a nil error", st.Completed)
+	counter("dbscand_engine_cancelled_total", "jobs ended by context cancellation or deadline", st.Cancelled)
+	counter("dbscand_engine_rejected_total", "submissions refused with a full queue (HTTP 429)", st.Rejected)
+	counter("dbscand_engine_timedout_total", "queued jobs rejected by the queue timeout", st.TimedOut)
+	counter("dbscand_engine_closed_total", "queued jobs swept by engine close", st.Closed)
+	counter("dbscand_engine_failed_total", "jobs finished with any other error", st.Failed)
+
+	// HTTP responses by status code.
+	s.mu.Lock()
+	codes := make([]int, 0, len(s.metrics.responses))
+	for c := range s.metrics.responses {
+		codes = append(codes, c)
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	sort.Ints(codes)
+	fmt.Fprintf(w, "# HELP dbscand_http_responses_total HTTP responses by status code\n# TYPE dbscand_http_responses_total counter\n")
+	s.metrics.mu.Lock()
+	for _, c := range codes {
+		fmt.Fprintf(w, "dbscand_http_responses_total{code=%q} %d\n", strconv.Itoa(c), s.metrics.responses[c])
+	}
+	s.metrics.mu.Unlock()
+
+	// Session gauges plus per-session last-run observability, straight from
+	// LastRunStats / StreamStats / BuildStats.
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	byKind := map[string]int{}
+	for _, sess := range sessions {
+		byKind[sess.kind]++
+	}
+	fmt.Fprintf(w, "# HELP dbscand_sessions live sessions by kind\n# TYPE dbscand_sessions gauge\n")
+	for _, kind := range []string{"batch", "streaming", "hierarchy"} {
+		fmt.Fprintf(w, "dbscand_sessions{kind=%q} %d\n", kind, byKind[kind])
+	}
+	fmt.Fprintf(w, "# HELP dbscand_session_points live points per session\n# TYPE dbscand_session_points gauge\n")
+	for _, sess := range sessions {
+		fmt.Fprintf(w, "dbscand_session_points{id=%q,kind=%q} %d\n", sess.id, sess.kind, s.infoOf(sess).NumPoints)
+	}
+	fmt.Fprintf(w, "# HELP dbscand_session_last_run_seconds wall time of the session's most recent completed run, by phase\n# TYPE dbscand_session_last_run_seconds gauge\n")
+	for _, sess := range sessions {
+		switch sess.kind {
+		case "batch":
+			rs := sess.clusterer.LastRunStats()
+			if rs.Total > 0 {
+				for _, ph := range []struct {
+					name string
+					d    float64
+				}{
+					{"total", rs.Total.Seconds()}, {"mark_core", rs.MarkCore.Seconds()},
+					{"cluster_core", rs.ClusterCore.Seconds()}, {"border", rs.Border.Seconds()},
+				} {
+					fmt.Fprintf(w, "dbscand_session_last_run_seconds{id=%q,phase=%q} %g\n", sess.id, ph.name, ph.d)
+				}
+			}
+		case "hierarchy":
+			bs := sess.hierarchy.BuildStats()
+			fmt.Fprintf(w, "dbscand_session_last_run_seconds{id=%q,phase=%q} %g\n", sess.id, "hierarchy_build", bs.Total.Seconds())
+		}
+	}
+	fmt.Fprintf(w, "# HELP dbscand_session_stream_dirty_cells dirty-cell count of the streaming session's most recent tick\n# TYPE dbscand_session_stream_dirty_cells gauge\n")
+	for _, sess := range sessions {
+		if sess.kind == "streaming" {
+			fmt.Fprintf(w, "dbscand_session_stream_dirty_cells{id=%q} %d\n", sess.id, sess.streaming.LastRunStats().DirtyCells)
+		}
+	}
+	fmt.Fprintf(w, "# HELP dbscand_session_stream_full whether the streaming session's most recent tick was a full recompute\n# TYPE dbscand_session_stream_full gauge\n")
+	for _, sess := range sessions {
+		if sess.kind == "streaming" {
+			full := 0
+			if sess.streaming.LastRunStats().Full {
+				full = 1
+			}
+			fmt.Fprintf(w, "dbscand_session_stream_full{id=%q} %d\n", sess.id, full)
+		}
+	}
+
+	s.metrics.queue.writeTo(w, "dbscand_job_queue_seconds",
+		"per-job admission-queue wait (includes jobs that timed out, were cancelled, or were swept by close)")
+	s.metrics.run.writeTo(w, "dbscand_job_run_seconds", "per-job execution time (jobs that ran)")
+}
