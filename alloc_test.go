@@ -21,6 +21,14 @@ import (
 const (
 	batchRunAllocBudget      = 96
 	streamingTickAllocBudget = 160
+
+	// A parallel run adds the per-construct scheduling allocations (worker
+	// closures, WaitGroup state) on top of the serial budget — proportional
+	// to the pinned worker count times the fixed number of parallel
+	// constructs per run, never to n or the cell count. The budget pins that:
+	// a reintroduced per-chunk or per-cell allocation in the chunked
+	// scheduler blows it immediately.
+	batchRunWorkers4AllocBudget = 512
 )
 
 // TestClustererRunAllocBudget pins the steady-state allocation count of
@@ -50,6 +58,37 @@ func TestClustererRunAllocBudget(t *testing.T) {
 	t.Logf("steady-state Clusterer.Run: %.0f allocs/op (budget %d)", allocs, batchRunAllocBudget)
 	if allocs > batchRunAllocBudget {
 		t.Errorf("steady-state Clusterer.Run allocated %.0f times, budget is %d", allocs, batchRunAllocBudget)
+	}
+}
+
+// TestClustererRunAllocBudgetWorkers4 pins the steady-state allocation count
+// of a parallel (Workers: 4) repeated Run: the chunk-claiming scheduler must
+// cost O(workers) allocations per construct, not O(chunks) or O(cells).
+func TestClustererRunAllocBudgetWorkers4(t *testing.T) {
+	pts, err := dataset.Generate("ss-varden-2d", 100000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClustererFlat(pts.Data, pts.D, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MinPts: 100, Method: Method2DGridBCP, Workers: 4, Shards: 1}
+	res, err := c.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters == 0 {
+		t.Fatal("degenerate dataset: no clusters, budget would be meaningless")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := c.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("steady-state Clusterer.Run (Workers: 4): %.0f allocs/op (budget %d)", allocs, batchRunWorkers4AllocBudget)
+	if allocs > batchRunWorkers4AllocBudget {
+		t.Errorf("steady-state parallel Clusterer.Run allocated %.0f times, budget is %d", allocs, batchRunWorkers4AllocBudget)
 	}
 }
 

@@ -41,6 +41,14 @@ type Clusterer struct {
 	partMu sync.Mutex
 	parts  map[int]*grid.Partition
 
+	// samples caches the sampled-core masks by (sampler, fraction, seed):
+	// a mask depends only on the points and those three knobs, so a sweep of
+	// sampled Runs (or repeated service requests with one sampling config)
+	// pays the sampler once. Masks are immutable once built; cancelled
+	// builds are never cached.
+	sampleMu sync.Mutex
+	samples  map[sampleKey][]bool
+
 	// arena pools the pipeline's per-run and per-worker scratch buffers, so
 	// repeated Run calls are near-allocation-free in steady state. Checkout
 	// is per run (concurrent Runs each pop their own scratch), so sharing
@@ -257,6 +265,43 @@ func (c *Clusterer) buildCells(useBox bool, ex *parallel.Pool) *grid.Cells {
 	return cells
 }
 
+// sampleKey identifies one sampled-core mask in the Clusterer's cache.
+type sampleKey struct {
+	sampler Sampler
+	frac    float64
+	seed    int64
+}
+
+// sampleFor returns the cached sampled-core mask for cfg's sampling knobs,
+// building it on first use with the given executor. Masks are immutable once
+// built; the lock only serializes construction. A mask built on a cancelled
+// pool may be arbitrary (the samplers bail early) and is never cached.
+func (c *Clusterer) sampleFor(cfg *Config, ex *parallel.Pool) ([]bool, error) {
+	key := sampleKey{cfg.Sampler, cfg.SampleFrac, cfg.SampleSeed}
+	c.sampleMu.Lock()
+	defer c.sampleMu.Unlock()
+	if m, ok := c.samples[key]; ok {
+		return m, nil
+	}
+	var mask []bool
+	switch cfg.Sampler {
+	case SamplerUniform:
+		mask = core.UniformMask(ex, c.pts.N, cfg.SampleFrac, cfg.SampleSeed)
+	case SamplerKCenter:
+		mask = core.KCenterMask(ex, c.pts, cfg.SampleFrac, cfg.SampleSeed)
+	default:
+		return nil, fmt.Errorf("pdbscan: unknown sampler %q", cfg.Sampler)
+	}
+	if err := ex.Err(); err != nil {
+		return nil, err
+	}
+	if c.samples == nil {
+		c.samples = make(map[sampleKey][]bool)
+	}
+	c.samples[key] = mask
+	return mask, nil
+}
+
 // partitionFor returns the cached partition of the grid cells for the given
 // shard count, building it on first use. Partitions are immutable once
 // built; the lock only serializes construction.
@@ -371,6 +416,13 @@ func (c *Clusterer) RunContext(ctx context.Context, cfg Config) (res *Result, er
 	useBox, err := resolveMethod(c.pts.D, &cfg, &params)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Sampler != SamplerNone {
+		mask, err := c.sampleFor(&cfg, ex)
+		if err != nil {
+			return nil, err
+		}
+		params.Sample = mask
 	}
 	var cres *core.Result
 	shards := resolveShards(&cfg, c.pts.N)

@@ -7,11 +7,20 @@
 //
 // Usage:
 //
-//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-serve BENCH_serve.json] [-emst BENCH_emst.json] [-api BENCH_api.json] [-strict]
+//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-scale BENCH_scale.json] [-serve BENCH_serve.json] [-emst BENCH_emst.json] [-api BENCH_api.json] [-strict]
 //
 // A metric regresses when it drops more than 10% below the committed
 // baseline, or below the absolute floor the optimization was accepted at
-// (1.3x clustering-phase speedup, 5x allocation reduction). With -serve it
+// (1.3x clustering-phase speedup, 5x allocation reduction). A baseline whose
+// recorded thread count differs from the fresh report's is refused (with a
+// ::notice): ratios measured at different worker counts are not comparable,
+// so only the absolute floors are checked. With -scale it gates the scaling
+// report: the thread sweep must cover at least two worker counts, the top
+// self-relative speedup must clear its 1.5x floor (skipped with a ::notice
+// on single-CPU runners, where the floor is physically unreachable), and per
+// dataset the sampled-core (DBSCAN++) rows at frac <= 0.1 must include one
+// with ARI >= 0.95 vs the exact run (hard error otherwise) whose
+// clustering-phase speedup clears the 2x floor. With -serve it
 // additionally gates the serving-path report: mid-run cancellation latency
 // must stay under its 50ms acceptance floor, every cancelled run's recovery
 // must have been label-permutation-equal to the baseline, and the Engine's
@@ -65,6 +74,20 @@ type apiHeadline struct {
 	DrainedCleanly   bool    `json:"drained_cleanly"`
 }
 
+// scaleHeadline is the subset of the BENCH_scale.json schema the gate reads.
+type scaleHeadline struct {
+	NumCPU         int     `json:"num_cpu"`
+	ThreadSweep    []int   `json:"thread_sweep"`
+	TopSelfSpeedup float64 `json:"top_self_speedup"`
+	Sampled        []struct {
+		Dataset string  `json:"dataset"`
+		Sampler string  `json:"sampler"`
+		Frac    float64 `json:"frac"`
+		Speedup float64 `json:"speedup"`
+		ARI     float64 `json:"ari"`
+	} `json:"sampled"`
+}
+
 // serveHeadline is the subset of the BENCH_serve.json schema the gate reads.
 type serveHeadline struct {
 	N                   int   `json:"n"`
@@ -84,6 +107,17 @@ const (
 	grace                 = 0.9 // >10% below a reference counts as a regression
 	floorCancelLatency    = 50 * time.Millisecond
 	floorEmstAmortization = 5.0
+	// Scaling gate: self-relative speedup at the top of the thread sweep
+	// (skipped on single-CPU runners — one hardware CPU cannot speed itself
+	// up) and the sampled-core mode's accuracy/speedup acceptance: at a
+	// sample fraction <= 0.1 there must be a configuration per dataset that
+	// keeps ARI >= 0.95 vs exact (hard — an approximation answering a
+	// different question is not a result) while clustering >= 2x faster
+	// (soft, with the usual grace).
+	floorScaleSpeedup   = 1.5
+	floorSampledSpeedup = 2.0
+	floorSampledARI     = 0.95
+	ceilSampledFrac     = 0.1
 	// API load gate: soft ceilings only — absolute latency depends on the
 	// runner, so the hard gates are the boolean invariants.
 	floorAPISessions = 200
@@ -94,6 +128,7 @@ const (
 func main() {
 	freshPath := flag.String("fresh", "BENCH_hot.json", "freshly generated report to check")
 	basePath := flag.String("baseline", "", "committed baseline report to compare against (optional)")
+	scalePath := flag.String("scale", "", "freshly generated BENCH_scale.json to gate (optional)")
 	servePath := flag.String("serve", "", "freshly generated BENCH_serve.json to gate (optional)")
 	apiPath := flag.String("api", "", "freshly generated BENCH_api.json to gate (optional)")
 	emstPath := flag.String("emst", "", "freshly generated BENCH_emst.json to gate (optional)")
@@ -125,17 +160,87 @@ func main() {
 
 	if *basePath != "" {
 		base, err := readHeadline(*basePath)
-		if err != nil {
+		switch {
+		case err != nil:
 			// A missing or unreadable baseline is not a regression — the
 			// first run that generates one has nothing to compare against.
 			fmt.Printf("::notice ::benchgate: no usable baseline (%v); checked acceptance floors only\n", err)
-		} else {
+		case base.Threads != fresh.Threads:
+			// A baseline measured at a different worker count is not
+			// comparable even on ratio metrics (parallel overheads scale
+			// with it); refuse it rather than let a thread-count change
+			// masquerade as a perf change in either direction.
+			fmt.Printf("::notice ::benchgate: baseline recorded at threads=%d but fresh report at threads=%d; thread-mismatched baselines are not comparable, checked acceptance floors only\n",
+				base.Threads, fresh.Threads)
+		default:
 			check("headline_2d_grid_speedup", fresh.Headline2DGridSpeedup, base.Headline2DGridSpeedup, "committed baseline")
 			check("headline_alloc_ratio", fresh.HeadlineAllocRatio, base.HeadlineAllocRatio, "committed baseline")
 		}
 	}
 
 	hardFail := false
+	if *scalePath != "" {
+		scale, err := readScale(*scalePath)
+		if err != nil {
+			fmt.Printf("::error ::benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		warn := func(format string, args ...any) {
+			level := "warning"
+			if *strict {
+				level = "error"
+			}
+			regressed = true
+			fmt.Printf("::"+level+" ::"+format+"\n", args...)
+		}
+		if len(scale.ThreadSweep) < 2 {
+			fmt.Printf("::error ::scale: thread sweep covers %d worker count(s); the scaling report requires at least two\n", len(scale.ThreadSweep))
+			hardFail = true
+		}
+		if scale.NumCPU <= 1 {
+			fmt.Printf("::notice ::scale: runner has %d CPU; self-relative scaling floor (%.1fx) not applicable, skipped\n",
+				scale.NumCPU, floorScaleSpeedup)
+		} else if scale.TopSelfSpeedup < floorScaleSpeedup*grace {
+			warn("scale: top self-relative speedup %.2fx at %d threads (%d CPUs), more than 10%% below the %.1fx floor",
+				scale.TopSelfSpeedup, scale.ThreadSweep[len(scale.ThreadSweep)-1], scale.NumCPU, floorScaleSpeedup)
+		} else {
+			fmt.Printf("benchgate: scale ok (self-relative %.2fx at %d threads on %d CPUs)\n",
+				scale.TopSelfSpeedup, scale.ThreadSweep[len(scale.ThreadSweep)-1], scale.NumCPU)
+		}
+		// Sampled-core acceptance, per dataset: among the rows at frac <=
+		// ceilSampledFrac, the accurate ones (ARI >= floor) must include a
+		// >= 2x clustering-phase speedup. No accurate row at all is a hard
+		// error — speed without fidelity is not an approximation.
+		bestByDS := map[string]float64{}
+		for _, row := range scale.Sampled {
+			if row.Frac > ceilSampledFrac {
+				continue
+			}
+			if _, seen := bestByDS[row.Dataset]; !seen {
+				bestByDS[row.Dataset] = -1
+			}
+			if row.ARI >= floorSampledARI && row.Speedup > bestByDS[row.Dataset] {
+				bestByDS[row.Dataset] = row.Speedup
+			}
+		}
+		if len(bestByDS) == 0 {
+			fmt.Println("::error ::scale: no sampled-core rows at frac <= 0.1 in the report")
+			hardFail = true
+		}
+		for ds, best := range bestByDS {
+			switch {
+			case best < 0:
+				fmt.Printf("::error ::scale: %s: no sampled-core row with ARI >= %.2f vs exact (frac <= %.1f)\n",
+					ds, floorSampledARI, ceilSampledFrac)
+				hardFail = true
+			case best < floorSampledSpeedup*grace:
+				warn("scale: %s: best accurate sampled-core speedup %.2fx, more than 10%% below the %.1fx floor",
+					ds, best, floorSampledSpeedup)
+			default:
+				fmt.Printf("benchgate: scale sampled ok (%s: %.2fx at ARI >= %.2f)\n", ds, best, floorSampledARI)
+			}
+		}
+	}
 	if *servePath != "" {
 		serve, err := readServe(*servePath)
 		if err != nil {
@@ -252,6 +357,21 @@ func main() {
 	if hardFail || (regressed && *strict) {
 		os.Exit(1)
 	}
+}
+
+func readScale(path string) (*scaleHeadline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s scaleHeadline
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.NumCPU == 0 || s.TopSelfSpeedup == 0 {
+		return nil, fmt.Errorf("%s: missing scale metrics", path)
+	}
+	return &s, nil
 }
 
 func readAPI(path string) (*apiHeadline, error) {

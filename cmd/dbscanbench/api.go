@@ -8,7 +8,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -178,10 +177,7 @@ func apiPct(sorted []int64, p float64) int64 {
 // streaming, and hierarchy — against a deliberately small admission queue,
 // and records BENCH_api.json.
 func expAPI(o options) {
-	threads := o.threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
+	threads := effectiveThreads(o.threads)
 	const sessions = 200
 	const maxQueue = 64
 	const eps = 1000.0

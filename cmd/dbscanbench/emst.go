@@ -72,7 +72,7 @@ func expEmst(o options) {
 
 	rep := emstReport{
 		Dataset: name, N: pts.N, D: pts.D, MinPts: minPts, EpsMax: epsMax,
-		Seed: o.seed, Threads: o.threads, QueriesEqual: true,
+		Seed: o.seed, Threads: effectiveThreads(o.threads), QueriesEqual: true,
 	}
 
 	c, err := pdbscan.NewClustererFlat(pts.Data, pts.D, epsMax)

@@ -88,10 +88,7 @@ type hotConfig struct {
 // BENCH_hot.json.
 func expHot(o options) {
 	const minPts = 100
-	threads := o.threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
+	threads := effectiveThreads(o.threads)
 	ex := parallel.NewPool(o.threads)
 	rep := hotReport{Seed: o.seed, Threads: threads}
 

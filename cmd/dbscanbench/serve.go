@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -57,10 +56,7 @@ type serveReport struct {
 func expServe(o options) {
 	const eps, minPts = 1000.0, 100
 	pts := loadDataset("ss-varden-2d", o.n, o.seed)
-	threads := o.threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
+	threads := effectiveThreads(o.threads)
 	rep := serveReport{
 		N: pts.N, Eps: eps, MinPts: minPts, Threads: threads,
 		RecoveredEqual: true,

@@ -2,7 +2,6 @@ package main
 
 import (
 	"fmt"
-	"runtime"
 	"time"
 
 	"pdbscan"
@@ -48,10 +47,7 @@ func expShard(o options) {
 	const eps, minPts = 1000.0, 100
 	pts := loadDataset("ss-varden-2d", o.n, o.seed)
 
-	threads := o.threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
+	threads := effectiveThreads(o.threads)
 	rep := shardReport{
 		Dataset: "ss-varden-2d", N: pts.N, D: pts.D,
 		Eps: eps, MinPts: minPts, Threads: threads,

@@ -72,7 +72,7 @@ func expStream(o options) {
 
 	rep := streamReport{
 		Dataset: "drift-2d", Window: window, Batch: batch,
-		Eps: eps, MinPts: minPts, Threads: o.threads,
+		Eps: eps, MinPts: minPts, Threads: effectiveThreads(o.threads),
 		Methods: map[string]int64{},
 	}
 	tbl := newTable(fmt.Sprintf("streaming ticks: window=%d batch=%d eps=%g minPts=%d", window, batch, eps, minPts),

@@ -37,6 +37,17 @@ func TestConfigValidateTable(t *testing.T) {
 		{"negative workers", func(c *Config) { c.Workers = -1 }, "Workers"},
 		{"negative shards", func(c *Config) { c.Shards = -2 }, "Shards"},
 		{"negative buckets", func(c *Config) { c.Buckets = -1 }, "Buckets"},
+
+		{"valid uniform sampler", func(c *Config) { c.Sampler = SamplerUniform; c.SampleFrac = 0.1 }, ""},
+		{"valid kcenter sampler full frac", func(c *Config) { c.Sampler = SamplerKCenter; c.SampleFrac = 1 }, ""},
+		{"valid sampler with monolithic shards", func(c *Config) { c.Sampler = SamplerUniform; c.SampleFrac = 0.5; c.Shards = 1 }, ""},
+		{"unknown sampler", func(c *Config) { c.Sampler = "bogus"; c.SampleFrac = 0.1 }, "sampler"},
+		{"frac without sampler", func(c *Config) { c.SampleFrac = 0.1 }, "SampleFrac"},
+		{"sampler without frac", func(c *Config) { c.Sampler = SamplerUniform }, "SampleFrac"},
+		{"frac above one", func(c *Config) { c.Sampler = SamplerUniform; c.SampleFrac = 1.5 }, "SampleFrac"},
+		{"negative frac", func(c *Config) { c.Sampler = SamplerKCenter; c.SampleFrac = -0.2 }, "SampleFrac"},
+		{"NaN frac", func(c *Config) { c.Sampler = SamplerUniform; c.SampleFrac = math.NaN() }, "SampleFrac"},
+		{"sampler with multi-shard", func(c *Config) { c.Sampler = SamplerUniform; c.SampleFrac = 0.1; c.Shards = 2 }, "Shards"},
 	}
 	for _, tc := range cases {
 		cfg := valid
@@ -70,6 +81,9 @@ func TestValidateMatchesRunRejection(t *testing.T) {
 		{Eps: 2, MinPts: 5, Workers: -1},
 		{Eps: 2, MinPts: 5, Shards: -1},
 		{Eps: 2, MinPts: 5, Buckets: -1},
+		{Eps: 2, MinPts: 5, Sampler: "bogus", SampleFrac: 0.1},
+		{Eps: 2, MinPts: 5, Sampler: SamplerUniform},
+		{Eps: 2, MinPts: 5, Sampler: SamplerUniform, SampleFrac: 0.1, Shards: 2},
 	}
 	c, err := NewClusterer(rows, 2)
 	if err != nil {

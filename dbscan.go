@@ -117,6 +117,25 @@ const (
 	Method2DBoxDelaunay  Method = "2d-box-delaunay"
 )
 
+// Sampler selects how the sampled-core approximate mode (DBSCAN++, Jang &
+// Jiang) picks the subset of points whose core status is computed. The empty
+// value disables sampling (exact DBSCAN).
+type Sampler string
+
+const (
+	// SamplerNone disables sampling: every point gets an exact core decision.
+	SamplerNone Sampler = ""
+	// SamplerUniform samples each point independently with probability
+	// SampleFrac by a seeded hash threshold — O(n), the cheap default.
+	SamplerUniform Sampler = "uniform"
+	// SamplerKCenter samples ceil(SampleFrac*n) points by greedy K-center
+	// (farthest-point traversal), the geometrically-covering sampler DBSCAN++
+	// pairs with its approximation guarantee. O(m*n) distances to build, so
+	// it suits small fractions; the mask is cached per (sampler, frac, seed)
+	// on the Clusterer.
+	SamplerKCenter Sampler = "kcenter"
+)
+
 // Methods lists every selectable method (excluding MethodAuto), 2D-only ones
 // last.
 func Methods() []Method {
@@ -171,6 +190,28 @@ type Config struct {
 	// strategy is preserved and the clustering is identical, as for every
 	// exact method.
 	Shards int
+
+	// Sampler enables the DBSCAN++ sampled-core approximate mode: core
+	// status is computed only for a sample of SampleFrac*n points (their
+	// decisions stay exact — the counting set is all points), the sampled
+	// cores are clustered by eps-connectivity, and every other point is
+	// attached border-style to the clusters of sampled cores within Eps.
+	// MarkCore — the dominant phase on dense data — becomes sublinear in n,
+	// at the cost of possibly splitting clusters whose density the sample
+	// missed; the trade-off is measured (ARI/NMI vs exact) in
+	// BENCH_scale.json. Results are deterministic for a fixed (Sampler,
+	// SampleFrac, SampleSeed) at any Workers count.
+	//
+	// Sampled runs are monolithic and batch-only: Shards must be 0 or 1
+	// (auto resolves to 1), and StreamingClusterer rejects samplers.
+	Sampler Sampler
+	// SampleFrac is the sampled fraction m/n, in (0, 1]; required when
+	// Sampler is set, rejected when it is not. 1 samples every point, which
+	// reproduces exact DBSCAN.
+	SampleFrac float64
+	// SampleSeed seeds the sampler. Runs with equal (Sampler, SampleFrac,
+	// SampleSeed) over the same points pick the same sample.
+	SampleSeed int64
 }
 
 // Validate checks every Config field for structural validity: the value
@@ -207,6 +248,21 @@ func (cfg *Config) Validate() error {
 	if cfg.Buckets < 0 {
 		return fmt.Errorf("pdbscan: Buckets must not be negative, got %d (0 selects the default of 32)", cfg.Buckets)
 	}
+	switch cfg.Sampler {
+	case SamplerNone:
+		if cfg.SampleFrac != 0 {
+			return fmt.Errorf("pdbscan: SampleFrac %v requires a Sampler", cfg.SampleFrac)
+		}
+	case SamplerUniform, SamplerKCenter:
+		if math.IsNaN(cfg.SampleFrac) || cfg.SampleFrac <= 0 || cfg.SampleFrac > 1 {
+			return fmt.Errorf("pdbscan: SampleFrac must be in (0, 1] with Sampler %q, got %v", cfg.Sampler, cfg.SampleFrac)
+		}
+		if cfg.Shards > 1 {
+			return fmt.Errorf("pdbscan: sampled-core runs are monolithic; Shards must be 0 or 1 with Sampler %q, got %d", cfg.Sampler, cfg.Shards)
+		}
+	default:
+		return fmt.Errorf("pdbscan: unknown sampler %q", cfg.Sampler)
+	}
 	return nil
 }
 
@@ -219,6 +275,9 @@ const autoShardPoints = 1 << 16
 // over n points: explicit counts pass through, 0 applies the auto heuristic
 // documented on Config.Shards.
 func resolveShards(cfg *Config, n int) int {
+	if cfg.Sampler != SamplerNone {
+		return 1 // sampled-core runs are monolithic (Validate rejects Shards > 1)
+	}
 	if cfg.Shards > 0 {
 		return cfg.Shards
 	}

@@ -106,6 +106,9 @@ func (c *Clusterer) BuildHierarchyContext(ctx context.Context, cfg Config) (h *H
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Sampler != SamplerNone {
+		return nil, fmt.Errorf("pdbscan: the sampled-core mode does not apply to hierarchy builds; Sampler must be empty, got %q", cfg.Sampler)
+	}
 	defer recoverRunPanic(ctx, &err)
 	ex := parallel.NewPoolContext(ctx, cfg.Workers)
 	for {

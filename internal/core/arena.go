@@ -59,6 +59,8 @@ type runScratch struct {
 type workerScratch struct {
 	gf, hf    []int32   // bcpConnected: box-filtered core point lists
 	found     []int32   // clusterBorder: distinct cluster labels of one point
+	sure      []int32   // clusterBorder: labels certain for a whole cell
+	cand      []int32   // clusterBorder: cells needing per-point scans
 	nbrOrder  []int32   // markCellCore: neighbor cells, ascending box distance
 	nbrDist   []float64 // markCellCore: the distances of nbrOrder
 	cellOrder []int32   // clusterShard: per-shard size-sorted owned core cells

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"slices"
 
@@ -74,6 +75,9 @@ const edgeChunk = 1 << 16
 func ComputeHierarchy(cells *grid.Cells, p Params) (*HierarchyData, error) {
 	if err := validateParams(cells, &p); err != nil {
 		return nil, err
+	}
+	if p.Sample != nil {
+		return nil, fmt.Errorf("core: sampled-core mode does not apply to hierarchy builds")
 	}
 	st := newPipeline(cells, p)
 	defer st.release()

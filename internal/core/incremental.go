@@ -100,6 +100,9 @@ func RunIncremental(cells *grid.Cells, p Params, inc *Incremental, dirty *grid.D
 	if inc == nil || dirty == nil {
 		return nil, fmt.Errorf("core: RunIncremental requires an Incremental cache and DirtyInfo")
 	}
+	if p.Sample != nil {
+		return nil, fmt.Errorf("core: sampled-core mode is batch-only (no incremental path)")
+	}
 	// Normalize the connectivity kind: every exact strategy shares one edge
 	// boolean ("some core pair within eps"), computed by filtered BCP.
 	kind := GraphBCP

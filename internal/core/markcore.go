@@ -30,6 +30,10 @@ func (st *pipeline) markCore() {
 // true and false, so the incremental pipeline can re-mark a dirty cell over
 // stale flags).
 //
+// Under a sample mask (Params.Sample, the DBSCAN++ mode) only sampled points
+// get a core decision — computed against the full counting set, so it equals
+// the exact decision — and every unsampled point's flag is written false.
+//
 // For small cells the neighbor list is first filtered and ordered by
 // ascending box-box distance between the cells' point bounding boxes:
 // neighbors whose box lies beyond eps can contribute nothing to any point of
@@ -51,8 +55,15 @@ func (st *pipeline) markCellCore(g int, ws *workerScratch) {
 	eps2 := st.eps2
 	size := c.CellSize(g)
 	pts := c.PointsOf(g)
+	sample := st.p.Sample
 	if size >= minPts {
 		// Every pair inside a cell is within eps (cell diameter <= eps).
+		if sample != nil {
+			for _, p := range pts {
+				st.coreFlags[p] = sample[p]
+			}
+			return
+		}
 		for _, p := range pts {
 			st.coreFlags[p] = true
 		}
@@ -71,6 +82,10 @@ func (st *pipeline) markCellCore(g int, ws *workerScratch) {
 	if !ordered {
 		// Unordered fallback: per-point box check + early exit.
 		for _, p := range pts {
+			if sample != nil && !sample[p] {
+				st.coreFlags[p] = false
+				continue
+			}
 			count := size
 			for _, h := range nbrs {
 				if count >= minPts {
@@ -102,6 +117,10 @@ func (st *pipeline) markCellCore(g int, ws *workerScratch) {
 
 	// Each point runs RangeCount against the ordered neighbors.
 	for _, p := range pts {
+		if sample != nil && !sample[p] {
+			st.coreFlags[p] = false
+			continue
+		}
 		count := size // the cell's own points are all within eps
 		for _, h := range ord {
 			if count >= minPts {

@@ -63,6 +63,15 @@ type Params struct {
 	Bucketing bool // process core cells in size-sorted batches (Section 4.4)
 	Buckets   int  // number of batches when Bucketing (default 32)
 
+	// Sample, when non-nil, selects the DBSCAN++ sampled-core mode: core
+	// status is computed only for points i with Sample[i] set (the counting
+	// set stays all points, so a sampled point's core decision is exact);
+	// unsampled points are never core and are attached border-style to the
+	// clusters of nearby sampled cores. len(Sample) must equal the point
+	// count. Nil runs exact DBSCAN. See UniformMask and KCenterMask for the
+	// deterministic samplers.
+	Sample []bool
+
 	// Exec is the executor every parallel phase runs on. A nil Exec is the
 	// default (GOMAXPROCS) pool. Threading the executor through Params — as
 	// opposed to a process-wide worker count — is what makes concurrent Run
@@ -194,6 +203,9 @@ func validateParams(cells *grid.Cells, p *Params) error {
 	}
 	if (p.Graph == GraphUSEC || p.Graph == GraphDelaunay) && cells.Pts.D != 2 {
 		return fmt.Errorf("core: USEC and Delaunay strategies are 2D only (d=%d)", cells.Pts.D)
+	}
+	if p.Sample != nil && len(p.Sample) != cells.Pts.N {
+		return fmt.Errorf("core: Sample mask has %d entries for %d points", len(p.Sample), cells.Pts.N)
 	}
 	if p.Buckets <= 0 {
 		p.Buckets = 32
@@ -366,8 +378,11 @@ func (st *pipeline) collectCellCore(g int) {
 	d := c.Pts.D
 	pts := c.PointsOf(g)
 	var core []int32
-	if c.CellSize(g) >= st.p.MinPts {
-		core = pts // every point is core; alias the cell's slice
+	if st.p.Sample == nil && c.CellSize(g) >= st.p.MinPts {
+		// Every point is core; alias the cell's slice. (Under a sample mask
+		// only the sampled points of a big cell are core, so the alias is
+		// wrong there and the flag-scan paths below run instead.)
+		core = pts
 	} else if st.coreStore != nil {
 		off := c.CellStart[g]
 		buf := st.coreStore[off : off : off+int32(len(pts))]

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+
+	"pdbscan/internal/geom"
+	"pdbscan/internal/parallel"
+	"pdbscan/internal/prim"
+)
+
+// This file implements the point samplers of the DBSCAN++ sampled-core mode
+// ("DBSCAN++: Towards fast and scalable density clustering", Jang & Jiang).
+// A sampler picks the subset S of points whose core status the pipeline
+// computes (Params.Sample); |S| = m ≪ n makes MarkCore — the dominant phase
+// on dense data — sublinear in n while the counting set stays exact.
+//
+// Both samplers are deterministic functions of (n or points, frac, seed) and
+// independent of the executor's worker count: a fixed seed reproduces the
+// same sample, and therefore the same clustering, at any parallelism.
+
+// UniformMask samples each point independently with probability frac by a
+// hash threshold: point i is in the sample iff mix64(seed, i) falls below
+// frac of the hash range. The expected sample size is frac*n; the decision
+// for each point depends only on (seed, i), never on iteration order, so the
+// mask is identical across worker counts. frac >= 1 selects every point
+// (sampled-core with a full mask is exact DBSCAN).
+func UniformMask(ex *parallel.Pool, n int, frac float64, seed int64) []bool {
+	mask := make([]bool, n)
+	if frac >= 1 {
+		for i := range mask {
+			mask[i] = true
+		}
+		return mask
+	}
+	if frac <= 0 {
+		return mask
+	}
+	// Compare the hash's top 53 bits against frac*2^53: both sides are exact
+	// float64 values, so there is no uint64 overflow for frac near 1.
+	thr := frac * float64(1<<53)
+	mixedSeed := prim.Mix64(uint64(seed))
+	ex.For(n, func(i int) {
+		mask[i] = float64(prim.Mix64(uint64(i)+mixedSeed)>>11) < thr
+	})
+	return mask
+}
+
+// KCenterMask samples m = ceil(frac*n) points by greedy K-center (Gonzalez):
+// start from a seed-chosen point, then repeatedly add the point farthest from
+// the current sample. The result covers the data geometrically — every point
+// is close to some sampled point — which is the sampler DBSCAN++ pairs with
+// its approximation guarantee. Cost is O(m*n) distance evaluations, so it
+// suits small fractions; UniformMask is the cheap default.
+//
+// Deterministic at any worker count: the farthest-point argmax is reduced
+// per block under the total order (distance desc, index asc) and merged
+// under the same order, so ties break identically regardless of how the
+// blocks were cut. On a cancelled executor the mask returns early and is
+// arbitrary; callers must check the executor's Err before using it.
+func KCenterMask(ex *parallel.Pool, pts geom.Points, frac float64, seed int64) []bool {
+	n := pts.N
+	mask := make([]bool, n)
+	if frac <= 0 || n == 0 {
+		return mask
+	}
+	m := int(math.Ceil(frac * float64(n)))
+	if m >= n {
+		for i := range mask {
+			mask[i] = true
+		}
+		return mask
+	}
+	k := geom.NewKernel(pts)
+	dist := make([]float64, n) // squared distance to the nearest sampled point
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	cur := int32(prim.Mix64(uint64(seed)) % uint64(n))
+	mask[cur] = true
+	nb := ex.NumBlocks(n, 0)
+	bestD := make([]float64, nb)
+	bestI := make([]int32, nb)
+	for picked := 1; picked < m; picked++ {
+		if ex.Cancelled() {
+			return mask
+		}
+		// One pass: fold the new center into dist and find the farthest point.
+		ex.BlockedForIdx(n, 0, func(b, lo, hi int) {
+			bd, bi := -1.0, int32(-1)
+			for i := lo; i < hi; i++ {
+				if d2 := k.DistSq(int32(i), cur); d2 < dist[i] {
+					dist[i] = d2
+				}
+				if dist[i] > bd {
+					bd, bi = dist[i], int32(i)
+				}
+			}
+			bestD[b], bestI[b] = bd, bi
+		})
+		bd, bi := -1.0, int32(-1)
+		for b := 0; b < nb; b++ {
+			if bestD[b] > bd || (bestD[b] == bd && bestI[b] < bi) {
+				bd, bi = bestD[b], bestI[b]
+			}
+		}
+		if bi < 0 || bd == 0 {
+			break // fewer than m distinct points; the sample already covers all
+		}
+		mask[bi] = true
+		cur = bi
+	}
+	return mask
+}

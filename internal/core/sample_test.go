@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pdbscan/internal/dataset"
+	"pdbscan/internal/parallel"
+)
+
+func TestUniformMaskDeterministicAcrossWorkers(t *testing.T) {
+	const n = 10000
+	ref := UniformMask(parallel.NewPool(1), n, 0.3, 42)
+	for _, w := range []int{2, 3, 8} {
+		got := UniformMask(parallel.NewPool(w), n, 0.3, 42)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: mask[%d] = %v, want %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+	// A different seed picks a different sample.
+	other := UniformMask(parallel.NewPool(2), n, 0.3, 43)
+	same := 0
+	for i := range ref {
+		if other[i] == ref[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seed 42 and 43 produced identical masks")
+	}
+}
+
+func TestUniformMaskFraction(t *testing.T) {
+	const n = 200000
+	for _, frac := range []float64{0.01, 0.1, 0.5} {
+		mask := UniformMask(nil, n, frac, 7)
+		count := 0
+		for _, m := range mask {
+			if m {
+				count++
+			}
+		}
+		want := frac * n
+		// Binomial: allow 6 standard deviations.
+		tol := 6 * math.Sqrt(want*(1-frac))
+		if math.Abs(float64(count)-want) > tol {
+			t.Errorf("frac=%v: sampled %d of %d, want %.0f +- %.0f", frac, count, n, want, tol)
+		}
+	}
+	full := UniformMask(nil, 100, 1.0, 7)
+	for i, m := range full {
+		if !m {
+			t.Fatalf("frac=1: point %d not sampled", i)
+		}
+	}
+	none := UniformMask(nil, 100, 0, 7)
+	for i, m := range none {
+		if m {
+			t.Fatalf("frac=0: point %d sampled", i)
+		}
+	}
+}
+
+func TestKCenterMaskCountAndDeterminism(t *testing.T) {
+	pts := dataset.UniformFill(5000, 2, 11)
+	const frac = 0.04
+	wantM := int(math.Ceil(frac * float64(pts.N)))
+	ref := KCenterMask(parallel.NewPool(1), pts, frac, 42)
+	count := 0
+	for _, m := range ref {
+		if m {
+			count++
+		}
+	}
+	if count != wantM {
+		t.Fatalf("sampled %d points, want ceil(frac*n) = %d", count, wantM)
+	}
+	for _, w := range []int{2, 3, 8} {
+		got := KCenterMask(parallel.NewPool(w), pts, frac, 42)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: mask[%d] = %v, want %v (argmax not partition-independent)", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestKCenterMaskCovers(t *testing.T) {
+	// Greedy K-center's defining property: after picking m centers, the
+	// farthest remaining distance is at most the optimal 2-approximation —
+	// here we just check it shrinks as m grows.
+	pts := dataset.UniformFill(2000, 2, 5)
+	far := func(frac float64) float64 {
+		mask := KCenterMask(nil, pts, frac, 1)
+		worst := 0.0
+		for i := 0; i < pts.N; i++ {
+			best := math.Inf(1)
+			for j := 0; j < pts.N; j++ {
+				if !mask[j] {
+					continue
+				}
+				var d2 float64
+				for k := 0; k < pts.D; k++ {
+					diff := pts.At(i)[k] - pts.At(j)[k]
+					d2 += diff * diff
+				}
+				if d2 < best {
+					best = d2
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+		return worst
+	}
+	if f1, f2 := far(0.002), far(0.02); f2 >= f1 {
+		t.Fatalf("coverage radius did not shrink with more centers: %v -> %v", f1, f2)
+	}
+}

@@ -47,6 +47,9 @@ func RunSharded(cells *grid.Cells, p Params, part *grid.Partition) (*Result, err
 	if part == nil || len(part.ShardOf) != numCells {
 		return nil, fmt.Errorf("core: RunSharded requires a Partition of the given cells")
 	}
+	if p.Sample != nil {
+		return nil, fmt.Errorf("core: sampled-core runs are monolithic (Run), not sharded")
+	}
 	st := newPipeline(cells, p)
 	defer st.release()
 

@@ -1,11 +1,14 @@
 // Package metrics provides clustering-comparison utilities: an
 // obviously-correct brute-force DBSCAN oracle (quadratic, used by tests), a
 // partition-equivalence check (cluster IDs compared up to relabeling), the
-// Adjusted Rand Index, and a validity oracle for Gan–Tao approximate DBSCAN.
+// Adjusted Rand Index and Normalized Mutual Information (the quality scores
+// of the sampled-core approximate mode), and a validity oracle for Gan–Tao
+// approximate DBSCAN.
 package metrics
 
 import (
 	"fmt"
+	"math"
 
 	"pdbscan/internal/geom"
 )
@@ -349,4 +352,83 @@ func AdjustedRandIndex(a, b []int32) float64 {
 		return 1
 	}
 	return (sumCont - expected) / (maxIdx - expected)
+}
+
+// NormalizedMutualInfo computes the NMI between two flat labelings (same
+// length) with arithmetic-mean normalization: I(A;B) / ((H(A)+H(B))/2).
+// Negative labels mean "noise" and are treated as singleton clusters, the
+// same convention as AdjustedRandIndex. Returns 1.0 for identical partitions
+// (including two all-singleton partitions, where both entropies vanish
+// together only if the partitions are equal-by-construction; the degenerate
+// H(A)+H(B) == 0 case means both sides are one cluster and is reported as 1).
+func NormalizedMutualInfo(a, b []int32) float64 {
+	n := len(a)
+	if n != len(b) || n == 0 {
+		return 0
+	}
+	// Remap noise to unique singleton labels (shared convention with ARI).
+	amax, bmax := int32(0), int32(0)
+	for i := 0; i < n; i++ {
+		if a[i] > amax {
+			amax = a[i]
+		}
+		if b[i] > bmax {
+			bmax = b[i]
+		}
+	}
+	ar := make([]int32, n)
+	br := make([]int32, n)
+	na, nb := amax+1, bmax+1
+	for i := 0; i < n; i++ {
+		if a[i] < 0 {
+			ar[i] = na
+			na++
+		} else {
+			ar[i] = a[i]
+		}
+		if b[i] < 0 {
+			br[i] = nb
+			nb++
+		} else {
+			br[i] = b[i]
+		}
+	}
+	type pair struct{ x, y int32 }
+	cont := map[pair]int64{}
+	rowSum := map[int32]int64{}
+	colSum := map[int32]int64{}
+	for i := 0; i < n; i++ {
+		cont[pair{ar[i], br[i]}]++
+		rowSum[ar[i]]++
+		colSum[br[i]]++
+	}
+	fn := float64(n)
+	var hA, hB, mi float64
+	for _, v := range rowSum {
+		p := float64(v) / fn
+		hA -= p * math.Log(p)
+	}
+	for _, v := range colSum {
+		p := float64(v) / fn
+		hB -= p * math.Log(p)
+	}
+	for k, v := range cont {
+		pxy := float64(v) / fn
+		px := float64(rowSum[k.x]) / fn
+		py := float64(colSum[k.y]) / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	denom := (hA + hB) / 2
+	if denom == 0 {
+		return 1 // both sides are a single cluster: identical partitions
+	}
+	nmi := mi / denom
+	// Clamp float noise to the theoretical [0, 1] range.
+	if nmi < 0 {
+		return 0
+	}
+	if nmi > 1 {
+		return 1
+	}
+	return nmi
 }

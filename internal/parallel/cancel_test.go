@@ -10,9 +10,10 @@ import (
 
 func TestPoolContextPlain(t *testing.T) {
 	// Background contexts carry no cancellation; the pool must degrade to a
-	// plain budget pool (nil for the default budget, alloc-free).
-	if p := NewPoolContext(context.Background(), 0); p != nil {
-		t.Fatalf("NewPoolContext(Background, 0) = %v, want nil", p)
+	// plain budget pool — with the default budget snapshotted at
+	// construction, not re-read per call.
+	if p := NewPoolContext(context.Background(), 0); p == nil || p.done != nil {
+		t.Fatalf("NewPoolContext(Background, 0) = %v, want plain snapshot pool", p)
 	}
 	p := NewPoolContext(context.Background(), 3)
 	if p.Workers() != 3 {
@@ -66,6 +67,26 @@ func TestForGrainStopsMidLoop(t *testing.T) {
 	})
 	if got := ran.Load(); got >= n {
 		t.Fatalf("loop ran all %d iterations despite cancellation", got)
+	}
+}
+
+func TestBlockedForChunkedStopsClaiming(t *testing.T) {
+	// Cancel from inside a chunk body on the chunk-claiming path: workers
+	// must stop claiming, leaving most of the iteration space untouched.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPoolContext(ctx, 2)
+	const n = 1 << 20
+	var ran atomic.Int64
+	p.BlockedFor(n, 1, func(lo, hi int) {
+		if ran.Add(int64(hi-lo)) >= 1024 {
+			cancel()
+		}
+	})
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d iterations ran despite cancellation", got)
+	}
+	if p.Err() == nil {
+		t.Fatal("Err must report the cancellation")
 	}
 }
 

@@ -22,13 +22,19 @@
 // consuming them. The per-element hot paths never pay more than an atomic
 // load on the fast path.
 //
-// The scheduler is deliberately simple: every parallel loop partitions its
-// iteration space into at most Workers() contiguous blocks and runs each block
-// on its own goroutine. Nested parallel calls simply spawn more goroutines;
-// the Go runtime multiplexes them onto GOMAXPROCS threads, which approximates
-// the Brent-style W/P + D running time the paper's analysis assumes. Loops
-// below a small grain run serially so that goroutine overhead never dominates
-// (the coarse-granularity compensation called out in DESIGN.md).
+// The scheduler spawns at most Workers() goroutines per loop. BlockedFor cuts
+// the iteration space into grain-aligned chunks several times smaller than a
+// worker's equal share and lets workers claim them off a shared atomic
+// counter, so a straggler block (a skewed cell in a varden dataset) stalls
+// one chunk, not one worker's whole share. BlockedForIdx and NumBlocks keep
+// the static equal-block partition: multi-pass offset primitives size scratch
+// by NumBlocks and index it by block, so their partition must be a pure
+// function of (n, grain, workers). Nested parallel calls simply spawn more
+// goroutines; the Go runtime multiplexes them onto GOMAXPROCS threads, which
+// approximates the Brent-style W/P + D running time the paper's analysis
+// assumes. Loops below a small grain run serially so that goroutine overhead
+// never dominates (the coarse-granularity compensation called out in
+// DESIGN.md).
 //
 // A panic inside a worker goroutine does not crash the process: it is
 // recovered, wrapped in a *PanicError carrying the original value and stack,
@@ -67,28 +73,43 @@ type Pool struct {
 }
 
 // NewPool returns a Pool that caps every construct at p goroutines.
-// p <= 0 yields the default budget (GOMAXPROCS at each call).
+// p <= 0 snapshots runtime.GOMAXPROCS(0) at construction: the budget is
+// pinned for the pool's lifetime, so every NumBlocks / BlockedForIdx pair on
+// the pool agrees on the block count even if GOMAXPROCS changes mid-run.
+// (Only a nil *Pool — the package default — tracks GOMAXPROCS dynamically.)
 func NewPool(p int) *Pool {
 	if p <= 0 {
-		return nil
+		p = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{workers: p}
 }
 
 // NewPoolContext returns a Pool that caps every construct at p goroutines
-// (p <= 0: GOMAXPROCS) and observes ctx: once ctx is done, every parallel
-// construct on the pool skips its remaining blocks and Err() reports
-// ctx.Err(). A nil or non-cancellable ctx (ctx.Done() == nil, e.g.
-// context.Background()) yields a plain budget pool, identical to NewPool(p).
+// (p <= 0: GOMAXPROCS, snapshotted at construction like NewPool) and
+// observes ctx: once ctx is done, every parallel construct on the pool skips
+// its remaining blocks and Err() reports ctx.Err(). A nil or non-cancellable
+// ctx (ctx.Done() == nil, e.g. context.Background()) yields a plain budget
+// pool, identical to NewPool(p).
 func NewPoolContext(ctx context.Context, p int) *Pool {
 	if ctx == nil || ctx.Done() == nil {
 		return NewPool(p)
 	}
-	w := 0
-	if p > 0 {
-		w = p
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: w, ctx: ctx, done: ctx.Done(), observed: &atomic.Bool{}}
+	return &Pool{workers: p, ctx: ctx, done: ctx.Done(), observed: &atomic.Bool{}}
+}
+
+// snapshot returns a pool whose worker budget is pinned for its lifetime.
+// Pools from NewPool/NewPoolContext already are; only a nil (default) pool
+// needs pinning, which here costs one GOMAXPROCS read. Primitives that pair
+// a NumBlocks-sized scratch with a later BlockedForIdx call snapshot first,
+// so the two calls cannot disagree on the block count.
+func (ex *Pool) snapshot() *Pool {
+	if ex != nil {
+		return ex
+	}
+	return &Pool{workers: runtime.GOMAXPROCS(0)}
 }
 
 // Cancelled reports whether the pool's context is done. Nil-safe; a pool
@@ -190,7 +211,8 @@ func (ps *panicSlot) rethrow() {
 func Default() *Pool { return nil }
 
 // Workers reports the number of goroutines a parallel loop on this pool may
-// use. Nil-safe: a nil (or zero) Pool reports GOMAXPROCS.
+// use. Pools built by NewPool / NewPoolContext report their snapshotted
+// budget; a nil (or zero-value) Pool reports GOMAXPROCS at each call.
 func (ex *Pool) Workers() int {
 	if ex != nil && ex.workers > 0 {
 		return ex.workers
@@ -225,11 +247,19 @@ func (ex *Pool) For(n int, f func(i int)) {
 func (ex *Pool) ForGrain(n, grain int, f func(i int)) {
 	if ex != nil && ex.done != nil {
 		ex.BlockedFor(n, grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				if (i-lo)%cancelStride == 0 && ex.Cancelled() {
+			// Strided: one cancellation check per cancelStride elements, with
+			// no modulo in the element loop itself.
+			for i := lo; i < hi; {
+				if ex.Cancelled() {
 					return
 				}
-				f(i)
+				end := i + cancelStride
+				if end > hi {
+					end = hi
+				}
+				for ; i < end; i++ {
+					f(i)
+				}
 			}
 		})
 		return
@@ -241,16 +271,33 @@ func (ex *Pool) ForGrain(n, grain int, f func(i int)) {
 	})
 }
 
+// chunkOversub is how many chunks BlockedFor aims to hand each worker. More
+// chunks mean finer load balancing on skewed per-element costs (varden cell
+// loads); fewer mean less claim traffic and fewer body invocations (bodies
+// often check out pooled scratch per call). 16 keeps the claim counter cold
+// while bounding the straggler penalty at ~1/16 of a worker's share.
+const chunkOversub = 16
+
 // BlockedFor partitions [0, n) into contiguous [lo, hi) blocks and runs
 // body(lo, hi) for each block in parallel. This is the workhorse used by the
 // primitives: it exposes the block structure so callers can keep per-block
 // state (histograms, partial sums) without false sharing.
 //
-// On a cancellable pool each block checks the context once before running and
-// is skipped entirely when it is done. Because cancellation is monotone, a
-// multi-pass primitive stays index-safe: if any block of an earlier pass was
-// skipped, every block of a later pass observes the cancellation and skips
-// too, so offsets derived from a partial pass are never used for writes.
+// Scheduling is dynamic: the space is cut into grain-aligned chunks roughly
+// chunkOversub times smaller than a worker's equal share, and at most
+// Workers() goroutines claim chunks off a shared atomic counter until none
+// remain. A body whose per-element cost is skewed (one dense cell among
+// thousands of sparse ones) therefore delays one chunk, not the whole share
+// of the worker it landed on. Blocks are still contiguous and disjoint and
+// cover [0, n); only their number and assignment to goroutines differ from
+// the static NumBlocks partition, which BlockedForIdx keeps.
+//
+// On a cancellable pool each chunk checks the context once before running and
+// the construct stops claiming once it is done. Because cancellation is
+// monotone — observing it sets a flag every later check reads — a multi-pass
+// primitive stays index-safe: if any chunk of an earlier pass was skipped,
+// every chunk of a later pass observes the cancellation and skips too, so
+// offsets derived from a partial pass are never used for writes.
 func (ex *Pool) BlockedFor(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -270,34 +317,71 @@ func (ex *Pool) BlockedFor(n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	bsize := (n + nblocks - 1) / nblocks
+	chunk := (n + nblocks*chunkOversub - 1) / (nblocks * chunkOversub)
+	if chunk < grain {
+		chunk = grain
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if nchunks <= nblocks {
+		// Not enough chunks to rebalance: fall back to the static equal
+		// split, one goroutine per block, as before.
+		bsize := (n + nblocks - 1) / nblocks
+		var wg sync.WaitGroup
+		var ps panicSlot
+		for b := 0; b < nblocks; b++ {
+			lo := b * bsize
+			hi := lo + bsize
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer ps.capture()
+				if ex.Cancelled() {
+					return
+				}
+				body(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		ps.rethrow()
+		return
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	var ps panicSlot
-	for b := 0; b < nblocks; b++ {
-		lo := b * bsize
-		hi := lo + bsize
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
+	wg.Add(nblocks)
+	for w := 0; w < nblocks; w++ {
+		go func() {
 			defer wg.Done()
 			defer ps.capture()
-			if ex.Cancelled() {
-				return
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= nchunks || ex.Cancelled() {
+					return
+				}
+				lo := t * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
 			}
-			body(lo, hi)
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	ps.rethrow()
 }
 
-// NumBlocks reports how many blocks BlockedFor would use for n items with the
-// given grain, so callers can pre-size per-block scratch arrays.
+// NumBlocks reports the static block count BlockedForIdx uses for n items
+// with the given grain, so callers can pre-size per-block scratch arrays.
+// The count is a pure function of (n, grain, Workers()); on pools from
+// NewPool / NewPoolContext the budget is snapshotted, so a NumBlocks-sized
+// scratch always matches a later BlockedForIdx on the same pool.
 func (ex *Pool) NumBlocks(n, grain int) int {
 	if n <= 0 {
 		return 0
@@ -316,8 +400,11 @@ func (ex *Pool) NumBlocks(n, grain int) int {
 	return nblocks
 }
 
-// BlockedForIdx is BlockedFor that also passes the block index, for callers
-// that write into per-block scratch slots.
+// BlockedForIdx is the statically-partitioned variant of BlockedFor: exactly
+// NumBlocks(n, grain) equal contiguous blocks, one goroutine each, with the
+// block index passed to the body. Callers that write into per-block scratch
+// slots (multi-pass offset primitives) rely on this partition being a pure
+// function of (n, grain, Workers()), so it does not use chunk claiming.
 func (ex *Pool) BlockedForIdx(n, grain int, body func(b, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -359,6 +446,7 @@ func (ex *Pool) BlockedForIdx(n, grain int, body func(b, lo, hi int)) {
 // ReduceInt computes the sum over i in [0, n) of f(i) with a parallel
 // block-level reduction.
 func (ex *Pool) ReduceInt(n int, f func(i int) int) int {
+	ex = ex.snapshot()
 	nb := ex.NumBlocks(n, 0)
 	if nb == 0 {
 		return 0
@@ -381,6 +469,7 @@ func (ex *Pool) ReduceInt(n int, f func(i int) int) int {
 // ReduceFloat64Min computes the minimum over i in [0, n) of f(i).
 // Returns +Inf-like behaviour via the identity argument when n == 0.
 func (ex *Pool) ReduceFloat64Min(n int, identity float64, f func(i int) float64) float64 {
+	ex = ex.snapshot()
 	nb := ex.NumBlocks(n, 0)
 	if nb == 0 {
 		return identity

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,10 +61,98 @@ func TestPoolCapsBlocks(t *testing.T) {
 	if nb := ex.NumBlocks(1<<20, 1); nb != 2 {
 		t.Fatalf("NumBlocks = %d, want 2", nb)
 	}
-	// Nil pool (and pools from non-positive budgets) track GOMAXPROCS.
+	// A nil pool tracks GOMAXPROCS; pools from non-positive budgets snapshot
+	// it at construction. With GOMAXPROCS stable here, both report the same.
 	for _, def := range []*Pool{nil, NewPool(0), NewPool(-3)} {
 		if w := def.Workers(); w != runtime.GOMAXPROCS(0) {
 			t.Fatalf("default pool Workers() = %d, want GOMAXPROCS", w)
+		}
+	}
+}
+
+func TestPoolBudgetSnapshotSurvivesGOMAXPROCSFlip(t *testing.T) {
+	// Regression: a pool built under one GOMAXPROCS must keep that budget if
+	// GOMAXPROCS changes mid-run. Before the snapshot fix, NumBlocks (used to
+	// size per-block scratch) and a later BlockedForIdx re-read GOMAXPROCS
+	// independently, so a flip between the two calls made BlockedForIdx hand
+	// out block indices past the end of the scratch.
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, ex := range []*Pool{NewPool(0), NewPoolContext(ctx, 0)} {
+		nb := ex.NumBlocks(1<<20, 1)
+		scratch := make([]int64, nb)
+
+		runtime.GOMAXPROCS(8) // flips mid-run
+
+		if w := ex.Workers(); w != 2 {
+			t.Fatalf("Workers() = %d after GOMAXPROCS flip, want snapshotted 2", w)
+		}
+		if got := ex.NumBlocks(1<<20, 1); got != nb {
+			t.Fatalf("NumBlocks = %d after flip, want %d", got, nb)
+		}
+		ex.BlockedForIdx(1<<20, 1, func(b, lo, hi int) {
+			atomic.AddInt64(&scratch[b], int64(hi-lo)) // panics if b >= nb
+		})
+		var total int64
+		for _, v := range scratch {
+			total += v
+		}
+		if total != 1<<20 {
+			t.Fatalf("blocks cover %d of %d after flip", total, 1<<20)
+		}
+		runtime.GOMAXPROCS(2)
+	}
+}
+
+func TestReduceSafeUnderConcurrentGOMAXPROCSFlips(t *testing.T) {
+	// The default (nil) pool stays dynamic, so Reduce* snapshot internally:
+	// a GOMAXPROCS flip between their NumBlocks sizing and BlockedForIdx
+	// writes must never corrupt or crash the reduction.
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.GOMAXPROCS(1 + i%4)
+			}
+		}
+	}()
+	n := 1 << 16
+	for iter := 0; iter < 100; iter++ {
+		if got := ReduceInt(n, func(i int) int { return 1 }); got != n {
+			t.Fatalf("iter %d: sum = %d, want %d", iter, got, n)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestBlockedForChunkedCoversDisjoint(t *testing.T) {
+	// Force the chunk-claiming path (many grain-1 chunks, few workers) and
+	// check the claimed chunks still tile [0, n) exactly once.
+	ex := NewPool(4)
+	n := 1 << 20
+	seen := make([]int32, n)
+	ex.BlockedFor(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
 		}
 	}
 }

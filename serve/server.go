@@ -271,6 +271,12 @@ type ConfigJSON struct {
 	Buckets   int     `json:"buckets,omitempty"`
 	Workers   int     `json:"workers,omitempty"`
 	Shards    int     `json:"shards,omitempty"`
+
+	// Sampled-core approximate mode (DBSCAN++): see pdbscan.Config.Sampler.
+	// Batch sessions only; streaming and hierarchy runs reject samplers.
+	Sampler    string  `json:"sampler,omitempty"`
+	SampleFrac float64 `json:"sample_frac,omitempty"`
+	SampleSeed int64   `json:"sample_seed,omitempty"`
 }
 
 func (c ConfigJSON) toConfig() pdbscan.Config {
@@ -278,6 +284,8 @@ func (c ConfigJSON) toConfig() pdbscan.Config {
 		Eps: c.Eps, MinPts: c.MinPts, Method: pdbscan.Method(c.Method),
 		Rho: c.Rho, Bucketing: c.Bucketing, Buckets: c.Buckets,
 		Workers: c.Workers, Shards: c.Shards,
+		Sampler: pdbscan.Sampler(c.Sampler), SampleFrac: c.SampleFrac,
+		SampleSeed: c.SampleSeed,
 	}
 }
 

@@ -297,6 +297,11 @@ func (s *StreamingClusterer) RunContext(ctx context.Context, cfg Config) (res *S
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Sampler != SamplerNone {
+		// The incremental caches pin exact per-cell core state; a sampled
+		// tick would invalidate them wholesale. Batch-only by design.
+		return nil, fmt.Errorf("pdbscan: the sampled-core mode is batch-only; StreamingClusterer does not accept Sampler %q", cfg.Sampler)
+	}
 	params := core.Params{
 		MinPts: cfg.MinPts,
 		Rho:    cfg.Rho,
