@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pdbscan/internal/cellstore"
 	"pdbscan/internal/core"
 	"pdbscan/internal/geom"
 	"pdbscan/internal/grid"
@@ -64,6 +65,15 @@ type Clusterer struct {
 
 	statsMu   sync.Mutex
 	lastStats RunStats
+
+	// store, when non-nil, backs this Clusterer with an on-disk cell store
+	// (OpenStoreClusterer): Spill runs stream it window by window, the
+	// in-RAM paths address the whole payload through storeMap (created
+	// lazily, resident on demand via the page cache), and every result is
+	// scattered back to the writing Clusterer's point order.
+	store    *cellstore.Store
+	storeMu  sync.Mutex
+	storeMap *cellstore.Mapping
 
 	builds atomic.Int32 // number of completed cell-structure builds (for tests)
 }
@@ -343,6 +353,14 @@ func (c *Clusterer) Prepare(cfg Config) (err error) {
 	if err := validateBudgetConfig(&cfg); err != nil {
 		return err
 	}
+	if c.store != nil && !cfg.Spill {
+		if err := c.ensureMapped(); err != nil {
+			return err
+		}
+	}
+	if cfg.Spill {
+		return nil // Spill runs need no in-RAM cell structure
+	}
 	var params core.Params
 	useBox, err := resolveMethod(c.pts.D, &cfg, &params)
 	if err != nil {
@@ -417,6 +435,45 @@ func (c *Clusterer) RunContext(ctx context.Context, cfg Config) (res *Result, er
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Spill {
+		// Out-of-core: sweep the store's shards one halo window at a time.
+		// Validate already rejected Sampler and explicit Shards; the shard
+		// schedule is the store's layout.
+		if c.store == nil {
+			return nil, fmt.Errorf("pdbscan: Spill requires a store-backed Clusterer (OpenStoreClusterer)")
+		}
+		cres, ooc, err := core.RunOutOfCore(c.store, params, cfg.MaxResidentBytes)
+		if err != nil {
+			return nil, err
+		}
+		total := time.Since(start)
+		phases := tm.Mark + tm.Collect + tm.Graph + tm.Merge + tm.Label + tm.Border
+		c.statsMu.Lock()
+		c.lastStats = RunStats{
+			MarkCore:           tm.Mark,
+			ClusterCore:        tm.Collect + tm.Graph + tm.Merge,
+			Border:             tm.Label + tm.Border,
+			Build:              total - phases,
+			Total:              total,
+			Shards:             c.store.NumShards(),
+			Workers:            ex.Workers(),
+			BytesMapped:        ooc.BytesMapped,
+			PeakResidentBytes:  ooc.PeakResidentBytes,
+			ShardsResidentPeak: ooc.ShardsResidentPeak,
+		}
+		c.statsMu.Unlock()
+		return &Result{
+			Labels:      cres.Labels,
+			Core:        cres.Core,
+			Border:      cres.Border,
+			NumClusters: cres.NumClusters,
+		}, nil
+	}
+	if c.store != nil {
+		if err := c.ensureMapped(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Sampler != SamplerNone {
 		mask, err := c.sampleFor(&cfg, ex)
 		if err != nil {
@@ -461,6 +518,11 @@ func (c *Clusterer) RunContext(ctx context.Context, cfg Config) (res *Result, er
 		if err != nil {
 			return nil, err
 		}
+	}
+	if c.store != nil {
+		// Store-backed payloads are laid out in store order; hand results
+		// back in the writing Clusterer's point order.
+		c.scatterStore(ex, cres)
 	}
 	total := time.Since(start)
 	c.statsMu.Lock()

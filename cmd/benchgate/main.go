@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-scale BENCH_scale.json] [-serve BENCH_serve.json] [-emst BENCH_emst.json] [-api BENCH_api.json] [-strict]
+//	benchgate -fresh BENCH_hot.json [-baseline BENCH_hot.json] [-scale BENCH_scale.json] [-serve BENCH_serve.json] [-emst BENCH_emst.json] [-api BENCH_api.json] [-ooc BENCH_ooc.json] [-strict]
 //
 // A metric regresses when it drops more than 10% below the committed
 // baseline, or below the absolute floor the optimization was accepted at
@@ -34,8 +34,19 @@
 // budget, every 429/503 must have carried Retry-After, and no request may
 // have failed outside the designed backpressure statuses (all three hard
 // errors); session count and queue-wait p99 are gated softly, since absolute
-// latency is host-dependent. Warnings annotate the PR; -strict turns them
-// into errors and a non-zero exit.
+// latency is host-dependent. With -ooc it gates the out-of-core report: the
+// spill run's labels must be permutation-equal to the in-RAM run, the dataset
+// must be at least 4x the residency budget (otherwise the run never left
+// RAM-scale and proves nothing), and the peak mapped window must stay within
+// 1.25x the budget (all three hard errors — they are the acceptance criteria
+// of the out-of-core mode); the spill-vs-in-RAM wall-clock ratio is gated
+// softly at 8x, since mapping overhead is host-dependent. Warnings annotate
+// the PR; -strict turns them into errors and a non-zero exit.
+//
+// A report file that simply does not exist — a fresh checkout that has not
+// generated it yet, a CI job whose bench step was skipped — produces a
+// ::notice and skips that gate; only files that exist but cannot be parsed
+// are hard errors.
 package main
 
 import (
@@ -88,6 +99,17 @@ type scaleHeadline struct {
 	} `json:"sampled"`
 }
 
+// oocHeadline is the subset of the BENCH_ooc.json schema the gate reads.
+type oocHeadline struct {
+	N                 int   `json:"n"`
+	DatasetBytes      int64 `json:"dataset_bytes"`
+	BudgetBytes       int64 `json:"budget_bytes"`
+	InRAMWallNS       int64 `json:"in_ram_wall_ns"`
+	OOCWallNS         int64 `json:"ooc_wall_ns"`
+	PeakResidentBytes int64 `json:"peak_resident_bytes"`
+	LabelsPermEqual   bool  `json:"labels_perm_equal"`
+}
+
 // serveHeadline is the subset of the BENCH_serve.json schema the gate reads.
 type serveHeadline struct {
 	N                   int   `json:"n"`
@@ -123,7 +145,47 @@ const (
 	floorAPISessions = 200
 	ceilAPIQueueP99  = 5 * time.Second
 	ceilAPIE2EP99    = 30 * time.Second
+	// Out-of-core gate: the dataset must dwarf the residency budget (else the
+	// run never exercised spilling), the peak mapped window may overshoot the
+	// budget only by the final halo slack the scheduler is allowed, and the
+	// wall-clock cost of running from disk is softly bounded relative to the
+	// in-RAM run on the same host.
+	floorOocDatasetRatio = 4.0
+	ceilOocPeakRatio     = 1.25
+	ceilOocWallRatio     = 8.0
 )
+
+// gate accumulates the run's verdict: soft regressions (warnings, errors
+// under -strict) and hard failures (correctness invariants, always errors).
+type gate struct {
+	strict    bool
+	regressed bool
+	hardFail  bool
+}
+
+func (g *gate) warn(format string, args ...any) {
+	level := "warning"
+	if g.strict {
+		level = "error"
+	}
+	g.regressed = true
+	fmt.Printf("::"+level+" ::"+format+"\n", args...)
+}
+
+func (g *gate) fail(format string, args ...any) {
+	g.hardFail = true
+	fmt.Printf("::error ::"+format+"\n", args...)
+}
+
+// check flags a ratio metric that dropped more than the grace below its
+// reference (an acceptance floor or the committed baseline).
+func (g *gate) check(metric string, got, ref float64, refName string) {
+	if got >= ref*grace {
+		return
+	}
+	g.warn("hot benchmark regression: %s = %.2f, more than 10%% below the %s of %.2f",
+		metric, got, refName, ref)
+}
 
 func main() {
 	freshPath := flag.String("fresh", "BENCH_hot.json", "freshly generated report to check")
@@ -132,113 +194,52 @@ func main() {
 	servePath := flag.String("serve", "", "freshly generated BENCH_serve.json to gate (optional)")
 	apiPath := flag.String("api", "", "freshly generated BENCH_api.json to gate (optional)")
 	emstPath := flag.String("emst", "", "freshly generated BENCH_emst.json to gate (optional)")
+	oocPath := flag.String("ooc", "", "freshly generated BENCH_ooc.json to gate (optional)")
 	strict := flag.Bool("strict", false, "exit non-zero (and annotate as errors) on regression")
 	flag.Parse()
+
+	g := &gate{strict: *strict}
 
 	fresh, err := readHeadline(*freshPath)
 	if err != nil {
 		fmt.Printf("::error ::benchgate: %v\n", err)
 		os.Exit(1)
 	}
+	if fresh != nil {
+		g.check("headline_2d_grid_speedup", fresh.Headline2DGridSpeedup, floorSpeedup, "acceptance floor")
+		g.check("headline_alloc_ratio", fresh.HeadlineAllocRatio, floorAllocRatio, "acceptance floor")
 
-	regressed := false
-	check := func(metric string, got, ref float64, refName string) {
-		if got >= ref*grace {
-			return
-		}
-		regressed = true
-		level := "warning"
-		if *strict {
-			level = "error"
-		}
-		fmt.Printf("::%s ::hot benchmark regression: %s = %.2f, more than 10%% below the %s of %.2f\n",
-			level, metric, got, refName, ref)
-	}
-
-	check("headline_2d_grid_speedup", fresh.Headline2DGridSpeedup, floorSpeedup, "acceptance floor")
-	check("headline_alloc_ratio", fresh.HeadlineAllocRatio, floorAllocRatio, "acceptance floor")
-
-	if *basePath != "" {
-		base, err := readHeadline(*basePath)
-		switch {
-		case err != nil:
-			// A missing or unreadable baseline is not a regression — the
-			// first run that generates one has nothing to compare against.
-			fmt.Printf("::notice ::benchgate: no usable baseline (%v); checked acceptance floors only\n", err)
-		case base.Threads != fresh.Threads:
-			// A baseline measured at a different worker count is not
-			// comparable even on ratio metrics (parallel overheads scale
-			// with it); refuse it rather than let a thread-count change
-			// masquerade as a perf change in either direction.
-			fmt.Printf("::notice ::benchgate: baseline recorded at threads=%d but fresh report at threads=%d; thread-mismatched baselines are not comparable, checked acceptance floors only\n",
-				base.Threads, fresh.Threads)
-		default:
-			check("headline_2d_grid_speedup", fresh.Headline2DGridSpeedup, base.Headline2DGridSpeedup, "committed baseline")
-			check("headline_alloc_ratio", fresh.HeadlineAllocRatio, base.HeadlineAllocRatio, "committed baseline")
+		if *basePath != "" {
+			base, err := readHeadline(*basePath)
+			switch {
+			case err != nil:
+				// An unreadable baseline is not a regression — the first run
+				// that generates one has nothing to compare against.
+				fmt.Printf("::notice ::benchgate: no usable baseline (%v); checked acceptance floors only\n", err)
+			case base == nil:
+				// readHeadline already printed the missing-file notice.
+			case base.Threads != fresh.Threads:
+				// A baseline measured at a different worker count is not
+				// comparable even on ratio metrics (parallel overheads scale
+				// with it); refuse it rather than let a thread-count change
+				// masquerade as a perf change in either direction.
+				fmt.Printf("::notice ::benchgate: baseline recorded at threads=%d but fresh report at threads=%d; thread-mismatched baselines are not comparable, checked acceptance floors only\n",
+					base.Threads, fresh.Threads)
+			default:
+				g.check("headline_2d_grid_speedup", fresh.Headline2DGridSpeedup, base.Headline2DGridSpeedup, "committed baseline")
+				g.check("headline_alloc_ratio", fresh.HeadlineAllocRatio, base.HeadlineAllocRatio, "committed baseline")
+			}
 		}
 	}
 
-	hardFail := false
 	if *scalePath != "" {
 		scale, err := readScale(*scalePath)
 		if err != nil {
 			fmt.Printf("::error ::benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		warn := func(format string, args ...any) {
-			level := "warning"
-			if *strict {
-				level = "error"
-			}
-			regressed = true
-			fmt.Printf("::"+level+" ::"+format+"\n", args...)
-		}
-		if len(scale.ThreadSweep) < 2 {
-			fmt.Printf("::error ::scale: thread sweep covers %d worker count(s); the scaling report requires at least two\n", len(scale.ThreadSweep))
-			hardFail = true
-		}
-		if scale.NumCPU <= 1 {
-			fmt.Printf("::notice ::scale: runner has %d CPU; self-relative scaling floor (%.1fx) not applicable, skipped\n",
-				scale.NumCPU, floorScaleSpeedup)
-		} else if scale.TopSelfSpeedup < floorScaleSpeedup*grace {
-			warn("scale: top self-relative speedup %.2fx at %d threads (%d CPUs), more than 10%% below the %.1fx floor",
-				scale.TopSelfSpeedup, scale.ThreadSweep[len(scale.ThreadSweep)-1], scale.NumCPU, floorScaleSpeedup)
-		} else {
-			fmt.Printf("benchgate: scale ok (self-relative %.2fx at %d threads on %d CPUs)\n",
-				scale.TopSelfSpeedup, scale.ThreadSweep[len(scale.ThreadSweep)-1], scale.NumCPU)
-		}
-		// Sampled-core acceptance, per dataset: among the rows at frac <=
-		// ceilSampledFrac, the accurate ones (ARI >= floor) must include a
-		// >= 2x clustering-phase speedup. No accurate row at all is a hard
-		// error — speed without fidelity is not an approximation.
-		bestByDS := map[string]float64{}
-		for _, row := range scale.Sampled {
-			if row.Frac > ceilSampledFrac {
-				continue
-			}
-			if _, seen := bestByDS[row.Dataset]; !seen {
-				bestByDS[row.Dataset] = -1
-			}
-			if row.ARI >= floorSampledARI && row.Speedup > bestByDS[row.Dataset] {
-				bestByDS[row.Dataset] = row.Speedup
-			}
-		}
-		if len(bestByDS) == 0 {
-			fmt.Println("::error ::scale: no sampled-core rows at frac <= 0.1 in the report")
-			hardFail = true
-		}
-		for ds, best := range bestByDS {
-			switch {
-			case best < 0:
-				fmt.Printf("::error ::scale: %s: no sampled-core row with ARI >= %.2f vs exact (frac <= %.1f)\n",
-					ds, floorSampledARI, ceilSampledFrac)
-				hardFail = true
-			case best < floorSampledSpeedup*grace:
-				warn("scale: %s: best accurate sampled-core speedup %.2fx, more than 10%% below the %.1fx floor",
-					ds, best, floorSampledSpeedup)
-			default:
-				fmt.Printf("benchgate: scale sampled ok (%s: %.2fx at ARI >= %.2f)\n", ds, best, floorSampledARI)
-			}
+		if scale != nil {
+			g.gateScale(scale)
 		}
 	}
 	if *servePath != "" {
@@ -247,120 +248,217 @@ func main() {
 			fmt.Printf("::error ::benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		// Correctness invariants: hard errors regardless of -strict.
-		if !serve.RecoveredEqual {
-			fmt.Println("::error ::serve: a run after a cancelled run diverged from the baseline (recovered_equal=false)")
-			hardFail = true
-		}
-		if !serve.BudgetConformant {
-			fmt.Println("::error ::serve: engine worker usage exceeded the shared budget (budget_conformant=false)")
-			hardFail = true
-		}
-		switch {
-		case serve.CancelledMidCluster == 0:
-			fmt.Printf("::notice ::serve: no trial was cancelled mid-run at n=%d; latency floor not exercised\n", serve.N)
-		case time.Duration(serve.CancelLatencyMaxNS) > floorCancelLatency:
-			level := "warning"
-			if *strict {
-				level = "error"
-			}
-			regressed = true
-			fmt.Printf("::%s ::serve: cancellation latency max %v exceeds the %v acceptance floor\n",
-				level, time.Duration(serve.CancelLatencyMaxNS), floorCancelLatency)
-		default:
-			fmt.Printf("benchgate: serve ok (cancel latency max %v <= %v over %d trials, recovery equal, budget conformant)\n",
-				time.Duration(serve.CancelLatencyMaxNS), floorCancelLatency, serve.CancelledMidCluster)
+		if serve != nil {
+			g.gateServe(serve)
 		}
 	}
-
 	if *apiPath != "" {
 		api, err := readAPI(*apiPath)
 		if err != nil {
 			fmt.Printf("::error ::benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		// Invariants of the serving contract: hard errors regardless of
-		// -strict. Backpressure (429s) is designed behavior; anything else
-		// failing is not.
-		if !api.BudgetConformant {
-			fmt.Println("::error ::api: engine worker usage exceeded the shared budget under HTTP load (budget_conformant=false)")
-			hardFail = true
-		}
-		if !api.RetryAfterAlways {
-			fmt.Println("::error ::api: a 429/503 response was missing its Retry-After header (retry_after_always=false)")
-			hardFail = true
-		}
-		if api.ErrorsOther > 0 {
-			fmt.Printf("::error ::api: %d requests failed outside the designed 429/503 backpressure\n", api.ErrorsOther)
-			hardFail = true
-		}
-		if !api.DrainedCleanly {
-			fmt.Println("::error ::api: graceful drain did not complete (drained_cleanly=false)")
-			hardFail = true
-		}
-		warn := func(format string, args ...any) {
-			level := "warning"
-			if *strict {
-				level = "error"
-			}
-			regressed = true
-			fmt.Printf("::"+level+" ::"+format+"\n", args...)
-		}
-		if api.Sessions < floorAPISessions {
-			warn("api: %d concurrent sessions, below the %d-session load floor", api.Sessions, floorAPISessions)
-		}
-		if time.Duration(api.QueueP99NS) > ceilAPIQueueP99 {
-			warn("api: queue-wait p99 %v exceeds the %v ceiling", time.Duration(api.QueueP99NS), ceilAPIQueueP99)
-		}
-		if time.Duration(api.LatencyP99NS) > ceilAPIE2EP99 {
-			warn("api: end-to-end p99 %v exceeds the %v ceiling", time.Duration(api.LatencyP99NS), ceilAPIE2EP99)
-		}
-		if api.BudgetConformant && api.RetryAfterAlways && api.ErrorsOther == 0 && api.DrainedCleanly {
-			fmt.Printf("benchgate: api ok (%d sessions, %d requests, %d runs, 429 rate %.1f%%, queue p99 %v, e2e p99 %v)\n",
-				api.Sessions, api.Requests, api.RunsCompleted, 100*api.Rate429,
-				time.Duration(api.QueueP99NS).Round(time.Microsecond),
-				time.Duration(api.LatencyP99NS).Round(time.Microsecond))
+		if api != nil {
+			g.gateAPI(api)
 		}
 	}
-
 	if *emstPath != "" {
 		emst, err := readEmst(*emstPath)
 		if err != nil {
 			fmt.Printf("::error ::benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		// Correctness invariant: every cut label-permutation-equal to its
-		// from-scratch run. A fast sweep that answers a different question
-		// is not a result; hard error regardless of -strict.
-		if !emst.QueriesEqual {
-			fmt.Println("::error ::emst: a hierarchy cut diverged from its from-scratch run (queries_equal=false)")
-			hardFail = true
+		if emst != nil {
+			g.gateEmst(emst)
 		}
-		if emst.AmortizationRatio < floorEmstAmortization*grace {
-			level := "warning"
-			if *strict {
-				level = "error"
-			}
-			regressed = true
-			fmt.Printf("::%s ::emst: sweep amortization %.2fx, more than 10%% below the %.1fx acceptance floor\n",
-				level, emst.AmortizationRatio, floorEmstAmortization)
-		} else if emst.QueriesEqual {
-			fmt.Printf("benchgate: emst ok (amortization %.2fx >= %.2f at n=%d, all cuts equal)\n",
-				emst.AmortizationRatio, floorEmstAmortization*grace, emst.N)
+	}
+	if *oocPath != "" {
+		ooc, err := readOoc(*oocPath)
+		if err != nil {
+			fmt.Printf("::error ::benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if ooc != nil {
+			g.gateOoc(ooc)
 		}
 	}
 
-	if !regressed && !hardFail {
-		fmt.Printf("benchgate: ok (speedup %.2fx >= %.2f, alloc ratio %.1fx >= %.1f)\n",
-			fresh.Headline2DGridSpeedup, floorSpeedup*grace, fresh.HeadlineAllocRatio, floorAllocRatio*grace)
+	if !g.regressed && !g.hardFail {
+		if fresh != nil {
+			fmt.Printf("benchgate: ok (speedup %.2fx >= %.2f, alloc ratio %.1fx >= %.1f)\n",
+				fresh.Headline2DGridSpeedup, floorSpeedup*grace, fresh.HeadlineAllocRatio, floorAllocRatio*grace)
+		} else {
+			fmt.Println("benchgate: ok (hot report missing, floors skipped)")
+		}
 	}
-	if hardFail || (regressed && *strict) {
+	if g.hardFail || (g.regressed && *strict) {
 		os.Exit(1)
 	}
 }
 
+func (g *gate) gateScale(scale *scaleHeadline) {
+	if len(scale.ThreadSweep) < 2 {
+		g.fail("scale: thread sweep covers %d worker count(s); the scaling report requires at least two", len(scale.ThreadSweep))
+	}
+	if scale.NumCPU <= 1 {
+		fmt.Printf("::notice ::scale: runner has %d CPU; self-relative scaling floor (%.1fx) not applicable, skipped\n",
+			scale.NumCPU, floorScaleSpeedup)
+	} else if scale.TopSelfSpeedup < floorScaleSpeedup*grace {
+		g.warn("scale: top self-relative speedup %.2fx at %d threads (%d CPUs), more than 10%% below the %.1fx floor",
+			scale.TopSelfSpeedup, scale.ThreadSweep[len(scale.ThreadSweep)-1], scale.NumCPU, floorScaleSpeedup)
+	} else {
+		fmt.Printf("benchgate: scale ok (self-relative %.2fx at %d threads on %d CPUs)\n",
+			scale.TopSelfSpeedup, scale.ThreadSweep[len(scale.ThreadSweep)-1], scale.NumCPU)
+	}
+	// Sampled-core acceptance, per dataset: among the rows at frac <=
+	// ceilSampledFrac, the accurate ones (ARI >= floor) must include a
+	// >= 2x clustering-phase speedup. No accurate row at all is a hard
+	// error — speed without fidelity is not an approximation.
+	bestByDS := map[string]float64{}
+	for _, row := range scale.Sampled {
+		if row.Frac > ceilSampledFrac {
+			continue
+		}
+		if _, seen := bestByDS[row.Dataset]; !seen {
+			bestByDS[row.Dataset] = -1
+		}
+		if row.ARI >= floorSampledARI && row.Speedup > bestByDS[row.Dataset] {
+			bestByDS[row.Dataset] = row.Speedup
+		}
+	}
+	if len(bestByDS) == 0 {
+		g.fail("scale: no sampled-core rows at frac <= 0.1 in the report")
+	}
+	for ds, best := range bestByDS {
+		switch {
+		case best < 0:
+			g.fail("scale: %s: no sampled-core row with ARI >= %.2f vs exact (frac <= %.1f)",
+				ds, floorSampledARI, ceilSampledFrac)
+		case best < floorSampledSpeedup*grace:
+			g.warn("scale: %s: best accurate sampled-core speedup %.2fx, more than 10%% below the %.1fx floor",
+				ds, best, floorSampledSpeedup)
+		default:
+			fmt.Printf("benchgate: scale sampled ok (%s: %.2fx at ARI >= %.2f)\n", ds, best, floorSampledARI)
+		}
+	}
+}
+
+func (g *gate) gateServe(serve *serveHeadline) {
+	// Correctness invariants: hard errors regardless of -strict.
+	if !serve.RecoveredEqual {
+		g.fail("serve: a run after a cancelled run diverged from the baseline (recovered_equal=false)")
+	}
+	if !serve.BudgetConformant {
+		g.fail("serve: engine worker usage exceeded the shared budget (budget_conformant=false)")
+	}
+	switch {
+	case serve.CancelledMidCluster == 0:
+		fmt.Printf("::notice ::serve: no trial was cancelled mid-run at n=%d; latency floor not exercised\n", serve.N)
+	case time.Duration(serve.CancelLatencyMaxNS) > floorCancelLatency:
+		g.warn("serve: cancellation latency max %v exceeds the %v acceptance floor",
+			time.Duration(serve.CancelLatencyMaxNS), floorCancelLatency)
+	default:
+		fmt.Printf("benchgate: serve ok (cancel latency max %v <= %v over %d trials, recovery equal, budget conformant)\n",
+			time.Duration(serve.CancelLatencyMaxNS), floorCancelLatency, serve.CancelledMidCluster)
+	}
+}
+
+func (g *gate) gateAPI(api *apiHeadline) {
+	// Invariants of the serving contract: hard errors regardless of
+	// -strict. Backpressure (429s) is designed behavior; anything else
+	// failing is not.
+	if !api.BudgetConformant {
+		g.fail("api: engine worker usage exceeded the shared budget under HTTP load (budget_conformant=false)")
+	}
+	if !api.RetryAfterAlways {
+		g.fail("api: a 429/503 response was missing its Retry-After header (retry_after_always=false)")
+	}
+	if api.ErrorsOther > 0 {
+		g.fail("api: %d requests failed outside the designed 429/503 backpressure", api.ErrorsOther)
+	}
+	if !api.DrainedCleanly {
+		g.fail("api: graceful drain did not complete (drained_cleanly=false)")
+	}
+	if api.Sessions < floorAPISessions {
+		g.warn("api: %d concurrent sessions, below the %d-session load floor", api.Sessions, floorAPISessions)
+	}
+	if time.Duration(api.QueueP99NS) > ceilAPIQueueP99 {
+		g.warn("api: queue-wait p99 %v exceeds the %v ceiling", time.Duration(api.QueueP99NS), ceilAPIQueueP99)
+	}
+	if time.Duration(api.LatencyP99NS) > ceilAPIE2EP99 {
+		g.warn("api: end-to-end p99 %v exceeds the %v ceiling", time.Duration(api.LatencyP99NS), ceilAPIE2EP99)
+	}
+	if api.BudgetConformant && api.RetryAfterAlways && api.ErrorsOther == 0 && api.DrainedCleanly {
+		fmt.Printf("benchgate: api ok (%d sessions, %d requests, %d runs, 429 rate %.1f%%, queue p99 %v, e2e p99 %v)\n",
+			api.Sessions, api.Requests, api.RunsCompleted, 100*api.Rate429,
+			time.Duration(api.QueueP99NS).Round(time.Microsecond),
+			time.Duration(api.LatencyP99NS).Round(time.Microsecond))
+	}
+}
+
+func (g *gate) gateEmst(emst *emstHeadline) {
+	// Correctness invariant: every cut label-permutation-equal to its
+	// from-scratch run. A fast sweep that answers a different question
+	// is not a result; hard error regardless of -strict.
+	if !emst.QueriesEqual {
+		g.fail("emst: a hierarchy cut diverged from its from-scratch run (queries_equal=false)")
+	}
+	if emst.AmortizationRatio < floorEmstAmortization*grace {
+		g.warn("emst: sweep amortization %.2fx, more than 10%% below the %.1fx acceptance floor",
+			emst.AmortizationRatio, floorEmstAmortization)
+	} else if emst.QueriesEqual {
+		fmt.Printf("benchgate: emst ok (amortization %.2fx >= %.2f at n=%d, all cuts equal)\n",
+			emst.AmortizationRatio, floorEmstAmortization*grace, emst.N)
+	}
+}
+
+func (g *gate) gateOoc(ooc *oocHeadline) {
+	// All three acceptance criteria are hard errors regardless of -strict:
+	// an out-of-core mode that changes answers, never leaves RAM-scale, or
+	// maps past its budget has not earned the name.
+	ok := true
+	if !ooc.LabelsPermEqual {
+		g.fail("ooc: spill labels were not permutation-equal to the in-RAM run (labels_perm_equal=false)")
+		ok = false
+	}
+	if float64(ooc.DatasetBytes) < floorOocDatasetRatio*float64(ooc.BudgetBytes) {
+		g.fail("ooc: dataset (%d bytes) is under %.0fx the %d-byte residency budget; the spill path was not meaningfully exercised",
+			ooc.DatasetBytes, floorOocDatasetRatio, ooc.BudgetBytes)
+		ok = false
+	}
+	if float64(ooc.PeakResidentBytes) > ceilOocPeakRatio*float64(ooc.BudgetBytes) {
+		g.fail("ooc: peak mapped window %d bytes exceeds %.2fx the %d-byte residency budget",
+			ooc.PeakResidentBytes, ceilOocPeakRatio, ooc.BudgetBytes)
+		ok = false
+	}
+	if ooc.InRAMWallNS > 0 && float64(ooc.OOCWallNS) > ceilOocWallRatio*float64(ooc.InRAMWallNS) {
+		g.warn("ooc: spill run took %v vs %v in-RAM, over the %gx soft ceiling",
+			time.Duration(ooc.OOCWallNS), time.Duration(ooc.InRAMWallNS), ceilOocWallRatio)
+		ok = false
+	}
+	if ok {
+		fmt.Printf("benchgate: ooc ok (n=%d, dataset %.1fx budget, peak window %.2fx budget, spill wall %.2fx in-RAM, labels equal)\n",
+			ooc.N, float64(ooc.DatasetBytes)/float64(ooc.BudgetBytes),
+			float64(ooc.PeakResidentBytes)/float64(ooc.BudgetBytes),
+			float64(ooc.OOCWallNS)/float64(ooc.InRAMWallNS))
+	}
+}
+
+// missingNotice reports a plainly absent report file as a skipped gate. Only
+// files that exist but cannot be read or parsed are errors.
+func missingNotice(path string, err error) bool {
+	if os.IsNotExist(err) {
+		fmt.Printf("::notice ::benchgate: %s not found; gate skipped\n", path)
+		return true
+	}
+	return false
+}
+
 func readScale(path string) (*scaleHeadline, error) {
 	data, err := os.ReadFile(path)
+	if missingNotice(path, err) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -376,6 +474,9 @@ func readScale(path string) (*scaleHeadline, error) {
 
 func readAPI(path string) (*apiHeadline, error) {
 	data, err := os.ReadFile(path)
+	if missingNotice(path, err) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -391,6 +492,9 @@ func readAPI(path string) (*apiHeadline, error) {
 
 func readEmst(path string) (*emstHeadline, error) {
 	data, err := os.ReadFile(path)
+	if missingNotice(path, err) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -404,8 +508,29 @@ func readEmst(path string) (*emstHeadline, error) {
 	return &e, nil
 }
 
+func readOoc(path string) (*oocHeadline, error) {
+	data, err := os.ReadFile(path)
+	if missingNotice(path, err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var o oocHeadline
+	if err := json.Unmarshal(data, &o); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if o.N == 0 || o.DatasetBytes == 0 || o.BudgetBytes == 0 {
+		return nil, fmt.Errorf("%s: missing ooc metrics", path)
+	}
+	return &o, nil
+}
+
 func readServe(path string) (*serveHeadline, error) {
 	data, err := os.ReadFile(path)
+	if missingNotice(path, err) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -421,6 +546,9 @@ func readServe(path string) (*serveHeadline, error) {
 
 func readHeadline(path string) (*hotHeadline, error) {
 	data, err := os.ReadFile(path)
+	if missingNotice(path, err) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}

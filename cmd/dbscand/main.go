@@ -9,7 +9,14 @@
 // Usage:
 //
 //	dbscand [-addr :8080] [-budget 0] [-max-queue 64] [-queue-timeout 0]
-//	        [-max-sessions 4096] [-retry-after 1s]
+//	        [-max-sessions 4096] [-retry-after 1s] [-snapshot-dir DIR]
+//
+// With -snapshot-dir set, streaming sessions survive restarts: on drain every
+// streaming session's warm state (points, ids, incremental caches, pending
+// mutations) is written to DIR as a checksummed <session-id>.snap, and on
+// boot those files are restored under their original session ids — clients
+// resume with the URLs and point ids they had, and the first tick after the
+// restart costs what it would have cost without one.
 //
 // A quick session through curl:
 //
@@ -48,6 +55,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", serve.DefaultMaxSessions, "live session bound; creates beyond it get 429")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429/503 responses")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for streaming-session snapshots: restored on boot, saved on drain (\"\" = disabled)")
 	flag.Parse()
 
 	srv := serve.New(serve.Options{
@@ -59,6 +67,16 @@ func main() {
 		MaxSessions: *maxSessions,
 		RetryAfter:  *retryAfter,
 	})
+	if *snapshotDir != "" {
+		srv.SetSnapshotDir(*snapshotDir)
+		n, err := srv.RestoreSnapshots()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbscand: restoring snapshots: %v\n", err)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "dbscand: restored %d streaming session(s) from %s\n", n, *snapshotDir)
+		}
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	errc := make(chan error, 1)
@@ -85,5 +103,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dbscand: shutdown: %v\n", err)
 	}
 	srv.Close()
+	if *snapshotDir != "" {
+		// After Close: no handler is mid-mutation, every job has settled, so
+		// the snapshots capture quiescent session state.
+		n, err := srv.SaveSnapshots()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbscand: saving snapshots: %v\n", err)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "dbscand: saved %d streaming session(s) to %s\n", n, *snapshotDir)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "dbscand: drained")
 }

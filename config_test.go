@@ -48,6 +48,13 @@ func TestConfigValidateTable(t *testing.T) {
 		{"negative frac", func(c *Config) { c.Sampler = SamplerKCenter; c.SampleFrac = -0.2 }, "SampleFrac"},
 		{"NaN frac", func(c *Config) { c.Sampler = SamplerUniform; c.SampleFrac = math.NaN() }, "SampleFrac"},
 		{"sampler with multi-shard", func(c *Config) { c.Sampler = SamplerUniform; c.SampleFrac = 0.1; c.Shards = 2 }, "Shards"},
+
+		{"valid spill", func(c *Config) { c.Spill = true }, ""},
+		{"valid spill with budget", func(c *Config) { c.Spill = true; c.MaxResidentBytes = 1 << 20 }, ""},
+		{"negative budget", func(c *Config) { c.Spill = true; c.MaxResidentBytes = -1 }, "MaxResidentBytes"},
+		{"budget without spill", func(c *Config) { c.MaxResidentBytes = 1 << 20 }, "Spill"},
+		{"spill with sampler", func(c *Config) { c.Spill = true; c.Sampler = SamplerUniform; c.SampleFrac = 0.1 }, "Sampler"},
+		{"spill with shards", func(c *Config) { c.Spill = true; c.Shards = 4 }, "Shards"},
 	}
 	for _, tc := range cases {
 		cfg := valid

@@ -212,6 +212,27 @@ type Config struct {
 	// SampleSeed seeds the sampler. Runs with equal (Sampler, SampleFrac,
 	// SampleSeed) over the same points pick the same sample.
 	SampleSeed int64
+
+	// Spill selects the out-of-core execution path: shards are swept one halo
+	// window at a time from the on-disk cell store, so only a sliver of the
+	// point data is ever resident. Requires a store-backed Clusterer
+	// (OpenStoreClusterer); the shard schedule comes from the store's layout,
+	// so Shards must be 0, and samplers are rejected (their counting set is
+	// the whole dataset). Labels are bit-identical to an in-RAM run for every
+	// grid-layout method and permutation-equal for the 2d-box-* methods
+	// (which the store serves from the grid layout, as sharding does).
+	// StreamingClusterer rejects Spill — its state is the in-memory dynamic
+	// grid; use Snapshot/RestoreStreaming to persist a stream.
+	Spill bool
+	// MaxResidentBytes is a hard budget on the point-data bytes resident at
+	// any moment of a Spill run (one shard's halo window, page rounding
+	// included). 0 means no budget. A window over budget fails the run with
+	// an error naming the shortfall — rewrite the store with more shards, or
+	// raise the budget. The run's O(n) bookkeeping (core flags, labels,
+	// cell-level union-find, store metadata) is small and outside the budget;
+	// see RunStats.PeakResidentBytes for what was actually mapped. Requires
+	// Spill; negative values are rejected.
+	MaxResidentBytes int64
 }
 
 // Validate checks every Config field for structural validity: the value
@@ -262,6 +283,20 @@ func (cfg *Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("pdbscan: unknown sampler %q", cfg.Sampler)
+	}
+	if cfg.MaxResidentBytes < 0 {
+		return fmt.Errorf("pdbscan: MaxResidentBytes must not be negative, got %d (0 means no budget)", cfg.MaxResidentBytes)
+	}
+	if cfg.MaxResidentBytes > 0 && !cfg.Spill {
+		return fmt.Errorf("pdbscan: MaxResidentBytes requires Spill (it budgets the out-of-core window)")
+	}
+	if cfg.Spill {
+		if cfg.Sampler != SamplerNone {
+			return fmt.Errorf("pdbscan: sampled-core runs are in-RAM only; Spill rejects Sampler %q", cfg.Sampler)
+		}
+		if cfg.Shards != 0 {
+			return fmt.Errorf("pdbscan: Spill derives its shard schedule from the store layout; Shards must be 0, got %d", cfg.Shards)
+		}
 	}
 	return nil
 }
@@ -409,4 +444,17 @@ type RunStats struct {
 	Shards int
 	// Workers is the effective worker budget of the run.
 	Workers int
+
+	// BytesMapped is the cumulative point-data bytes mapped across every
+	// window turn of a Spill run (zero otherwise). Each shard's halo window
+	// is mapped once per pass (mark/graph, then border), so this typically
+	// lands at 2-6x the dataset size depending on halo overlap.
+	BytesMapped int64
+	// PeakResidentBytes is the largest single window mapping of a Spill run —
+	// the most point data resident at any moment (windows are mapped one at a
+	// time and released before the next turn). This is the figure
+	// Config.MaxResidentBytes bounds.
+	PeakResidentBytes int64
+	// ShardsResidentPeak is the widest halo window of a Spill run, in shards.
+	ShardsResidentPeak int
 }

@@ -1,0 +1,319 @@
+package cellstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// FNV-64a, inlined so both the flat store format and the stream codec share
+// one checksum definition without dragging hash.Hash64 state around.
+
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+func fnvNew() uint64 { return fnvOffset }
+
+func fnvSum(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+// Encoder writes length-prefixed little-endian values to a stream, keeping a
+// running FNV-64a checksum that Flush appends as a trailer. It is the codec
+// the streaming snapshot format (pdbscan.StreamingClusterer.Snapshot) is
+// assembled from; the flat store file shares the checksum but lays out its
+// arrays for mmap instead.
+//
+// The first error sticks: subsequent writes are no-ops and Flush reports it.
+type Encoder struct {
+	w   *bufio.Writer
+	sum uint64
+	err error
+}
+
+// NewEncoder starts a stream with the given 8-byte magic (written raw,
+// outside the checksum).
+func NewEncoder(w io.Writer, magic string) *Encoder {
+	e := &Encoder{w: bufio.NewWriter(w), sum: fnvNew()}
+	if len(magic) != 8 {
+		e.err = fmt.Errorf("cellstore: magic must be 8 bytes, got %q", magic)
+		return e
+	}
+	if _, err := e.w.WriteString(magic); err != nil {
+		e.err = err
+	}
+	return e
+}
+
+func (e *Encoder) raw(b []byte) {
+	if e.err != nil {
+		return
+	}
+	e.sum = fnvSum(e.sum, b)
+	if _, err := e.w.Write(b); err != nil {
+		e.err = err
+	}
+}
+
+// U64 writes v.
+func (e *Encoder) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.raw(b[:])
+}
+
+// I64 writes v.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 writes v.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool writes v as one byte.
+func (e *Encoder) Bool(v bool) {
+	b := []byte{0}
+	if v {
+		b[0] = 1
+	}
+	e.raw(b)
+}
+
+// I32s writes a length-prefixed []int32.
+func (e *Encoder) I32s(a []int32) {
+	e.U64(uint64(len(a)))
+	var b [8192]byte
+	for len(a) > 0 {
+		k := min(len(a), len(b)/4)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(b[i*4:], uint32(a[i]))
+		}
+		e.raw(b[:k*4])
+		a = a[k:]
+	}
+}
+
+// I64s writes a length-prefixed []int64.
+func (e *Encoder) I64s(a []int64) {
+	e.U64(uint64(len(a)))
+	var b [8]byte
+	for _, v := range a {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		e.raw(b[:])
+	}
+}
+
+// F64s writes a length-prefixed []float64.
+func (e *Encoder) F64s(a []float64) {
+	e.U64(uint64(len(a)))
+	var b [8192]byte
+	for len(a) > 0 {
+		k := min(len(a), len(b)/8)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(a[i]))
+		}
+		e.raw(b[:k*8])
+		a = a[k:]
+	}
+}
+
+// Bools writes a length-prefixed []bool, one byte per element.
+func (e *Encoder) Bools(a []bool) {
+	e.U64(uint64(len(a)))
+	var b [8192]byte
+	for len(a) > 0 {
+		k := min(len(a), len(b))
+		for i := 0; i < k; i++ {
+			b[i] = 0
+			if a[i] {
+				b[i] = 1
+			}
+		}
+		e.raw(b[:k])
+		a = a[k:]
+	}
+}
+
+// Flush writes the checksum trailer and flushes the stream.
+func (e *Encoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], e.sum)
+	if _, err := e.w.Write(b[:]); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Decoder reads the Encoder's format back. Array reads grow their result in
+// bounded chunks, so a corrupt length prefix on a truncated stream errors out
+// once the bytes run dry instead of pre-allocating gigabytes. The first error
+// sticks; Verify checks the checksum trailer and must be called after the
+// last field.
+type Decoder struct {
+	r   *bufio.Reader
+	sum uint64
+	err error
+}
+
+// maxStreamElems bounds any single array length in a snapshot stream
+// (2^31 elements — matching the int32 point/cell indices everywhere else).
+const maxStreamElems = 1 << 31
+
+// NewDecoder checks the 8-byte magic and returns a decoder positioned at the
+// first field.
+func NewDecoder(r io.Reader, magic string) (*Decoder, error) {
+	d := &Decoder{r: bufio.NewReader(r), sum: fnvNew()}
+	var m [8]byte
+	if _, err := io.ReadFull(d.r, m[:]); err != nil {
+		return nil, fmt.Errorf("cellstore: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("cellstore: bad magic %q (want %q)", m[:], magic)
+	}
+	return d, nil
+}
+
+// Err returns the first read error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) raw(b []byte) bool {
+	if d.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("cellstore: truncated stream: %w", err)
+		return false
+	}
+	d.sum = fnvSum(d.sum, b)
+	return true
+}
+
+// U64 reads one uint64 (0 after an error).
+func (d *Decoder) U64() uint64 {
+	var b [8]byte
+	if !d.raw(b[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// I64 reads one int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads one float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads one byte as a bool.
+func (d *Decoder) Bool() bool {
+	var b [1]byte
+	if !d.raw(b[:]) {
+		return false
+	}
+	return b[0] != 0
+}
+
+// arrayLen reads and bounds a length prefix.
+func (d *Decoder) arrayLen() int {
+	k := d.U64()
+	if d.err == nil && k > maxStreamElems {
+		d.err = fmt.Errorf("cellstore: array length %d exceeds limit", k)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(k)
+}
+
+// I32s reads a length-prefixed []int32.
+func (d *Decoder) I32s() []int32 {
+	k := d.arrayLen()
+	var out []int32
+	var b [8192]byte
+	for len(out) < k {
+		m := min(k-len(out), len(b)/4)
+		if !d.raw(b[:m*4]) {
+			return nil
+		}
+		for i := 0; i < m; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(b[i*4:])))
+		}
+	}
+	return out
+}
+
+// I64s reads a length-prefixed []int64.
+func (d *Decoder) I64s() []int64 {
+	k := d.arrayLen()
+	var out []int64
+	var b [8192]byte
+	for len(out) < k {
+		m := min(k-len(out), len(b)/8)
+		if !d.raw(b[:m*8]) {
+			return nil
+		}
+		for i := 0; i < m; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(b[i*8:])))
+		}
+	}
+	return out
+}
+
+// F64s reads a length-prefixed []float64.
+func (d *Decoder) F64s() []float64 {
+	k := d.arrayLen()
+	var out []float64
+	var b [8192]byte
+	for len(out) < k {
+		m := min(k-len(out), len(b)/8)
+		if !d.raw(b[:m*8]) {
+			return nil
+		}
+		for i := 0; i < m; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:])))
+		}
+	}
+	return out
+}
+
+// Bools reads a length-prefixed []bool.
+func (d *Decoder) Bools() []bool {
+	k := d.arrayLen()
+	var out []bool
+	var b [8192]byte
+	for len(out) < k {
+		m := min(k-len(out), len(b))
+		if !d.raw(b[:m]) {
+			return nil
+		}
+		for i := 0; i < m; i++ {
+			out = append(out, b[i] != 0)
+		}
+	}
+	return out
+}
+
+// Verify reads the checksum trailer and compares it to the running sum over
+// everything decoded so far. Call after the last field.
+func (d *Decoder) Verify() error {
+	if d.err != nil {
+		return d.err
+	}
+	want := d.sum // capture before the trailer bytes pass through raw
+	var b [8]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		return fmt.Errorf("cellstore: truncated stream (checksum trailer): %w", err)
+	}
+	got := binary.LittleEndian.Uint64(b[:])
+	if got != want {
+		return fmt.Errorf("cellstore: stream checksum mismatch: trailer %016x, computed %016x", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+//go:build linux
+
+package cellstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapRange mmaps [byteLo, byteLo+byteLen) of f read-only and returns it as a
+// float64 window of k values. The mmap offset must be page-aligned, so the
+// mapping starts at the enclosing page boundary; the reported Bytes is the
+// full mapped length — that is what the kernel can make resident, and what
+// the residency budget must account for.
+func mapRange(f *os.File, byteLo, byteLen int64, k, pointLo int) (*Mapping, error) {
+	pageSize := int64(os.Getpagesize())
+	pageOff := byteLo - byteLo%pageSize
+	delta := byteLo - pageOff
+	mapLen := delta + byteLen
+	b, err := syscall.Mmap(int(f.Fd()), pageOff, int(mapLen),
+		syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("cellstore: mmap [%d,%d): %w", pageOff, pageOff+mapLen, err)
+	}
+	return &Mapping{
+		Data:    float64View(b[delta:], k),
+		PointLo: pointLo,
+		Bytes:   mapLen,
+		release: func() { syscall.Munmap(b) },
+	}, nil
+}

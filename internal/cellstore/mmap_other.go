@@ -1,0 +1,23 @@
+//go:build !linux
+
+package cellstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapRange, on platforms without the mmap path, reads the window into an
+// anonymous buffer. Residency accounting is unchanged: the buffer is the
+// resident set, released when the Mapping is.
+func mapRange(f *os.File, byteLo, byteLen int64, k, pointLo int) (*Mapping, error) {
+	b := make([]byte, byteLen)
+	if _, err := f.ReadAt(b, byteLo); err != nil {
+		return nil, fmt.Errorf("cellstore: reading window [%d,%d): %w", byteLo, byteLo+byteLen, err)
+	}
+	return &Mapping{
+		Data:    float64View(b, k),
+		PointLo: pointLo,
+		Bytes:   byteLen,
+	}, nil
+}

@@ -1,0 +1,26 @@
+package cellstore
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// float64View reinterprets b as k float64s without copying. Mapped windows
+// are page-aligned and the data section starts on an 8-byte boundary, so the
+// aligned fast path is the norm; a misaligned base (possible only for
+// in-memory images handed to Decode by a caller) falls back to a copy.
+func float64View(b []byte, k int) []float64 {
+	if k == 0 {
+		return nil
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%8 == 0 {
+		return unsafe.Slice((*float64)(p), k)
+	}
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

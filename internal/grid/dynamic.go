@@ -57,6 +57,13 @@ type Dynamic struct {
 
 	snap      *Cells // last snapshot; nil before the first
 	snapValid bool   // no mutations since snap was taken
+
+	// restored marks a Dynamic rebuilt by RestoreDynamic: the next Snapshot
+	// has no previous Cells to copy grid-side per-cell state from (it
+	// recomputes bounding boxes and neighbor lists for every cell), but it
+	// reports only the restored dirty set's expansion as affected — not Full
+	// — so incremental caches restored alongside keep their clean entries.
+	restored bool
 }
 
 // DirtyInfo reports, for one Snapshot, which cell slots the mutations since
@@ -205,8 +212,8 @@ func (dy *Dynamic) Snapshot(ex *parallel.Pool) (*Cells, *DirtyInfo, error) {
 		return dy.snap, &DirtyInfo{Affected: make([]bool, numSlots)}, nil
 	}
 	d := dy.d
-	full := dy.snap == nil
-	prev := dy.snap
+	full := dy.snap == nil && !dy.restored
+	prev := dy.snap // nil right after a restore: grid-side state is recomputed below
 
 	// Anchor: coordinate-wise minimum absolute coordinate over alive cells.
 	anchor := make([]int64, d)
@@ -363,7 +370,7 @@ func (dy *Dynamic) Snapshot(ex *parallel.Pool) (*Cells, *DirtyInfo, error) {
 		if !dy.cellAlive[g] {
 			return
 		}
-		if affected[g] == 0 {
+		if affected[g] == 0 && prev != nil {
 			copy(c.BBLo[g*d:(g+1)*d], prev.BBLo[g*d:(g+1)*d])
 			copy(c.BBHi[g*d:(g+1)*d], prev.BBHi[g*d:(g+1)*d])
 			c.Neighbors[g] = prev.Neighbors[g]
@@ -408,5 +415,6 @@ func (dy *Dynamic) Snapshot(ex *parallel.Pool) (*Cells, *DirtyInfo, error) {
 	clear(dy.dirty)
 	dy.snap = c
 	dy.snapValid = true
+	dy.restored = false
 	return c, info, nil
 }

@@ -105,6 +105,7 @@ type Server struct {
 	sessions map[string]*session
 	nextSess uint64
 	draining bool
+	snapDir  string // streaming snapshot directory ("" = disabled); see snapshot.go
 }
 
 // session is one client-owned run target plus its async runs.
@@ -578,6 +579,9 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.runs = make(map[string]*run)
 	sess.mu.Unlock()
+	if sess.kind == "streaming" {
+		s.removeSnapshot(sess.id) // a deleted session must not resurrect on reboot
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSnapshotSaveRestoreReboot drives a streaming session, "reboots" the
+// server (SaveSnapshots + a fresh Server restoring from the same directory),
+// and checks the session resumes under its original id with an identical next
+// tick, preserved point ids, and a continued id sequence.
+func TestSnapshotSaveRestoreReboot(t *testing.T) {
+	dir := t.TempDir()
+	srv, tc, done := newTestServer(t, Options{})
+	srv.SetSnapshotDir(dir)
+
+	sess := tc.createSession(CreateSessionRequest{Kind: "streaming", Eps: 3, Dims: 2})
+	path := "/v1/sessions/" + sess.ID
+	var ins struct {
+		IDs []int64 `json:"ids"`
+	}
+	tc.expect("POST", path+"/points", InsertPointsRequest{Points: genPoints(800, 11)}, http.StatusOK, &ins)
+	var warm RunStatus
+	tc.expect("POST", path+"/runs", SubmitRunRequest{Config: ConfigJSON{MinPts: 8}, Wait: true}, http.StatusOK, &warm)
+	// Pending mutations the snapshot must carry.
+	tc.expect("DELETE", path+"/points", RemovePointsRequest{IDs: ins.IDs[:20]}, http.StatusOK, nil)
+
+	// The reference next tick, from the still-running original.
+	var want RunStatus
+	tc.expect("POST", path+"/runs", SubmitRunRequest{Config: ConfigJSON{MinPts: 8}, Wait: true}, http.StatusOK, &want)
+
+	if n, err := srv.SaveSnapshots(); err != nil || n != 1 {
+		t.Fatalf("SaveSnapshots = %d, %v", n, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, sess.ID+".snap")); err != nil {
+		t.Fatal(err)
+	}
+	done()
+
+	// Reboot: a fresh server restores from the same directory. The snapshot
+	// was taken BEFORE the reference tick, which consumed the pending
+	// removals — but the snapshot carries them as still-pending, so the
+	// restored session's next tick must reproduce the reference.
+	srv2, tc2, done2 := newTestServer(t, Options{})
+	defer done2()
+	srv2.SetSnapshotDir(dir)
+	if n, err := srv2.RestoreSnapshots(); err != nil || n != 1 {
+		t.Fatalf("RestoreSnapshots = %d, %v", n, err)
+	}
+
+	var info SessionInfo
+	tc2.expect("GET", path, nil, http.StatusOK, &info) // original id resolves
+	if info.Kind != "streaming" || info.NumPoints != 780 || info.Eps != 3 {
+		t.Fatalf("restored session info %+v", info)
+	}
+
+	var got RunStatus
+	tc2.expect("POST", path+"/runs", SubmitRunRequest{Config: ConfigJSON{MinPts: 8}, Wait: true}, http.StatusOK, &got)
+	if len(got.Result.IDs) != len(want.Result.IDs) {
+		t.Fatalf("restored tick has %d rows, want %d", len(got.Result.IDs), len(want.Result.IDs))
+	}
+	fwd := map[int32]int32{}
+	rev := map[int32]int32{}
+	for k := range want.Result.IDs {
+		if got.Result.IDs[k] != want.Result.IDs[k] {
+			t.Fatalf("row %d: id %d vs %d", k, got.Result.IDs[k], want.Result.IDs[k])
+		}
+		if got.Result.Core[k] != want.Result.Core[k] {
+			t.Fatalf("row %d: core %v vs %v", k, got.Result.Core[k], want.Result.Core[k])
+		}
+		x, y := want.Result.Labels[k], got.Result.Labels[k]
+		if (x < 0) != (y < 0) {
+			t.Fatalf("row %d: label %d vs %d", k, x, y)
+		}
+		if x >= 0 {
+			if v, ok := fwd[x]; ok && v != y {
+				t.Fatalf("labels not permutation-equal at row %d", k)
+			}
+			if v, ok := rev[y]; ok && v != x {
+				t.Fatalf("labels not permutation-equal at row %d", k)
+			}
+			fwd[x], rev[y] = y, x
+		}
+	}
+	if got.Result.NumClusters != want.Result.NumClusters {
+		t.Fatalf("%d vs %d clusters", got.Result.NumClusters, want.Result.NumClusters)
+	}
+
+	// New sessions continue past the restored id.
+	s2 := tc2.createSession(CreateSessionRequest{Kind: "streaming", Eps: 3, Dims: 2})
+	if s2.ID == sess.ID {
+		t.Fatalf("restored id %s reissued", sess.ID)
+	}
+
+	// Deleting the restored session removes its snapshot file.
+	tc2.expect("DELETE", path, nil, http.StatusNoContent, nil)
+	if _, err := os.Stat(filepath.Join(dir, sess.ID+".snap")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot file still present after session delete: %v", err)
+	}
+}
+
+// TestSnapshotCorruptFileSkipped: a damaged snapshot is reported, not served.
+func TestSnapshotCorruptFileSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "s7.snap"), []byte("PDBSNAP1 garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, _, done := newTestServer(t, Options{})
+	defer done()
+	srv.SetSnapshotDir(dir)
+	n, err := srv.RestoreSnapshots()
+	if n != 0 || err == nil {
+		t.Fatalf("RestoreSnapshots = %d, %v; want 0 + error", n, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s7.snap")); err != nil {
+		t.Fatal("corrupt snapshot file was deleted; it should be kept for inspection")
+	}
+}
