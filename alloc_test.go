@@ -18,6 +18,12 @@ import (
 // Both tests run with Workers: 1 — allocation counts are deterministic for a
 // serial run, while parallel runs add goroutine/closure allocations that
 // vary with GOMAXPROCS.
+//
+// The cell-major payload (grid.Cells.Payload) is materialized once at cell
+// build time, alongside the grid itself, so it never appears in these per-run
+// budgets: a steady-state Run reads the payload but allocates nothing for it.
+// A payload rebuild leaking into the run path would blow the serial budget
+// immediately (n*d floats is orders of magnitude over it).
 const (
 	batchRunAllocBudget      = 96
 	streamingTickAllocBudget = 160

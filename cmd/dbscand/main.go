@@ -10,6 +10,11 @@
 //
 //	dbscand [-addr :8080] [-budget 0] [-max-queue 64] [-queue-timeout 0]
 //	        [-max-sessions 4096] [-retry-after 1s] [-snapshot-dir DIR]
+//	        [-pprof ADDR]
+//
+// With -pprof set (e.g. -pprof localhost:6060), the net/http/pprof profiling
+// endpoints are served on that address from a second listener, never on the
+// API address — profiling stays off the public surface and off by default.
 //
 // With -snapshot-dir set, streaming sessions survive restarts: on drain every
 // streaming session's warm state (points, ids, incremental caches, pending
@@ -38,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +62,7 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429/503 responses")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	snapshotDir := flag.String("snapshot-dir", "", "directory for streaming-session snapshots: restored on boot, saved on drain (\"\" = disabled)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 (\"\" = disabled)")
 	flag.Parse()
 
 	srv := serve.New(serve.Options{
@@ -79,6 +86,27 @@ func main() {
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
+	var ps *http.Server
+	if *pprofAddr != "" {
+		// Profiling lives on its own listener with an explicit mux: the API
+		// handler never routes to it, and nothing is registered on the
+		// DefaultServeMux. A failure here is reported but does not take the
+		// API down — profiling is an operator convenience, not a dependency.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps = &http.Server{Addr: *pprofAddr, Handler: mux}
+		go func() {
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "dbscand: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dbscand: pprof on %s/debug/pprof/\n", *pprofAddr)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "dbscand: listening on %s (budget %d, queue %d)\n",
@@ -101,6 +129,9 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "dbscand: shutdown: %v\n", err)
+	}
+	if ps != nil {
+		_ = ps.Shutdown(ctx)
 	}
 	srv.Close()
 	if *snapshotDir != "" {

@@ -50,8 +50,11 @@ func (st *pipeline) clusterBorder(labels []int32, numClusters int) map[int32][]i
 				// sample mask big cells hold unsampled non-core points)
 			}
 			built := false
-			for _, p := range c.PointsOf(g) {
-				if st.coreFlags[p] {
+			pts := st.cellPts(g)
+			orig := c.PointsOf(g) // == pts on the indirect path
+			for i, p := range pts {
+				op := orig[i]
+				if st.coreFlags[op] {
 					continue
 				}
 				if !built {
@@ -67,9 +70,9 @@ func (st *pipeline) clusterBorder(labels []int32, numClusters int) map[int32][]i
 				}
 				ws.found = found // keep grown capacity
 				if len(found) > 0 {
-					labels[p] = found[0]
+					labels[op] = found[0]
 					if len(found) > 1 {
-						multiP = append(multiP, p)
+						multiP = append(multiP, op)
 						multiM = append(multiM, append([]int32(nil), found...))
 					}
 				}
@@ -105,7 +108,7 @@ func (st *pipeline) borderCellCandidates(g int32, labels []int32, ws *workerScra
 		if len(core) == 0 {
 			return
 		}
-		lbl := labels[core[0]] // one cluster per cell
+		lbl := st.coreLabelOf(h, labels) // one cluster per cell
 		if containsLabel(sure, lbl) {
 			return
 		}
@@ -119,7 +122,7 @@ func (st *pipeline) borderCellCandidates(g int32, labels []int32, ws *workerScra
 			// Drop already-queued cells made redundant by the new sure label.
 			keep := cand[:0]
 			for _, q := range cand {
-				if labels[st.corePts[q][0]] != lbl {
+				if st.coreLabelOf(q, labels) != lbl {
 					keep = append(keep, q)
 				}
 			}
@@ -142,7 +145,7 @@ func (st *pipeline) borderScanCell(p, h int32, labels []int32, found []int32) []
 	core := st.corePts[h]
 	// The whole cell belongs to one cluster; if we already have its label,
 	// no need to scan the points again.
-	lbl := labels[core[0]]
+	lbl := st.coreLabelOf(h, labels)
 	if containsLabel(found, lbl) {
 		return found
 	}
@@ -150,10 +153,26 @@ func (st *pipeline) borderScanCell(p, h int32, labels []int32, found []int32) []
 	if st.k.PointBoxDistSqAt(p, st.coreBBLo, st.coreBBHi, h) > st.eps2 {
 		return found
 	}
+	if st.contig {
+		// Full-cell core lists are dense payload row ranges; stream them.
+		if cs := st.cells.CellStart; len(core) == int(cs[h+1]-cs[h]) {
+			if st.k.AnyWithinRange(p, cs[h], cs[h+1], st.eps2) {
+				return insertLabel(found, lbl)
+			}
+			return found
+		}
+	}
 	if st.k.AnyWithin(p, core, st.eps2) {
 		return insertLabel(found, lbl)
 	}
 	return found
+}
+
+// coreLabelOf returns the cluster label of core cell h (all cores of one cell
+// share a cluster), resolving the representative through origOf — labels are
+// keyed by original index while core lists live in the active store's space.
+func (st *pipeline) coreLabelOf(h int32, labels []int32) int32 {
+	return labels[st.origOf(st.corePts[h][0])]
 }
 
 // boxBoxMaxDistSq returns the squared maximum distance between two

@@ -79,6 +79,10 @@ func ComputeHierarchy(cells *grid.Cells, p Params) (*HierarchyData, error) {
 	if p.Sample != nil {
 		return nil, fmt.Errorf("core: sampled-core mode does not apply to hierarchy builds")
 	}
+	// The build emits point-indexed output (cd2, MSF edges) from inside its
+	// scan loops; it runs on the original point order rather than paying a
+	// per-pair row translation.
+	p.ForceIndirectLayout = true
 	st := newPipeline(cells, p)
 	defer st.release()
 	if err := st.phase("coredist"); err != nil {

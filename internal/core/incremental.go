@@ -103,6 +103,12 @@ func RunIncremental(cells *grid.Cells, p Params, inc *Incremental, dirty *grid.D
 	if p.Sample != nil {
 		return nil, fmt.Errorf("core: sampled-core mode is batch-only (no incremental path)")
 	}
+	// The incremental caches (core lists, quadtrees, edge endpoints) are
+	// keyed by original point index and survive across ticks, while the
+	// cell-major payload's row space is rebuilt by every Snapshot — a
+	// payload-row run would poison every cached index. Run indirect.
+	p.ForceIndirectLayout = true
+
 	// Normalize the connectivity kind: every exact strategy shares one edge
 	// boolean ("some core pair within eps"), computed by filtered BCP.
 	kind := GraphBCP

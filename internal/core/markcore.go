@@ -54,17 +54,20 @@ func (st *pipeline) markCellCore(g int, ws *workerScratch) {
 	minPts := st.p.MinPts
 	eps2 := st.eps2
 	size := c.CellSize(g)
-	pts := c.PointsOf(g)
+	pts := st.cellPts(g)
+	orig := c.PointsOf(g) // == pts on the indirect path
 	sample := st.p.Sample
 	if size >= minPts {
 		// Every pair inside a cell is within eps (cell diameter <= eps).
+		// Flags and the sample mask are keyed by original index, so this
+		// shortcut never touches the active store at all.
 		if sample != nil {
-			for _, p := range pts {
+			for _, p := range orig {
 				st.coreFlags[p] = sample[p]
 			}
 			return
 		}
-		for _, p := range pts {
+		for _, p := range orig {
 			st.coreFlags[p] = true
 		}
 		return
@@ -81,9 +84,10 @@ func (st *pipeline) markCellCore(g int, ws *workerScratch) {
 	}
 	if !ordered {
 		// Unordered fallback: per-point box check + early exit.
-		for _, p := range pts {
-			if sample != nil && !sample[p] {
-				st.coreFlags[p] = false
+		for i, p := range pts {
+			op := orig[i]
+			if sample != nil && !sample[op] {
+				st.coreFlags[op] = false
 				continue
 			}
 			count := size
@@ -96,7 +100,7 @@ func (st *pipeline) markCellCore(g int, ws *workerScratch) {
 				}
 				count += st.rangeCount(p, h, eps2, minPts-count)
 			}
-			st.coreFlags[p] = count >= minPts
+			st.coreFlags[op] = count >= minPts
 		}
 		return
 	}
@@ -116,9 +120,10 @@ func (st *pipeline) markCellCore(g int, ws *workerScratch) {
 	ws.nbrOrder, ws.nbrDist = ord, dist // keep grown capacity
 
 	// Each point runs RangeCount against the ordered neighbors.
-	for _, p := range pts {
-		if sample != nil && !sample[p] {
-			st.coreFlags[p] = false
+	for i, p := range pts {
+		op := orig[i]
+		if sample != nil && !sample[op] {
+			st.coreFlags[op] = false
 			continue
 		}
 		count := size // the cell's own points are all within eps
@@ -132,7 +137,7 @@ func (st *pipeline) markCellCore(g int, ws *workerScratch) {
 			}
 			count += st.rangeCount(p, h, eps2, minPts-count)
 		}
-		st.coreFlags[p] = count >= minPts
+		st.coreFlags[op] = count >= minPts
 	}
 }
 
@@ -141,6 +146,11 @@ func (st *pipeline) markCellCore(g int, ws *workerScratch) {
 func (st *pipeline) rangeCount(p, h int32, eps2 float64, need int) int {
 	if st.p.Mark == MarkQuadtree {
 		return st.allTree(h).CountWithin(st.at(p), st.eps)
+	}
+	if st.contig {
+		// Cell h's points are the contiguous payload rows
+		// [CellStart[h], CellStart[h+1]): stream them instead of gathering.
+		return st.k.CountWithinRange(p, st.cells.CellStart[h], st.cells.CellStart[h+1], eps2, need)
 	}
 	return st.k.CountWithin(p, st.cells.PointsOf(int(h)), eps2, need)
 }

@@ -197,9 +197,13 @@ func (t *oocTurn) close() {
 	}
 }
 
-// openTurn maps shard s's halo window, rebuilds its cell structure, matches
-// window-local cells to store cells by absolute lattice coordinate, and
-// stands up a pipeline whose coreFlags alias the global store-order array.
+// openTurn maps shard s's halo window, stands the mapped range up as the
+// window's cell structure directly — the store already holds the cell-major
+// layout BuildCellMajor wants, so there is no per-window re-gather: no
+// semisort, no coordinate hashing, and the pipeline's payload aliases the
+// mapping itself (zero copy against the residency budget). Window-local cell
+// ids equal store order, so the store/local translations are simple offsets.
+// The pipeline's coreFlags alias the global store-order array.
 func (r *oocRun) openTurn(s int) (*oocTurn, error) {
 	store := r.store
 	wlo, whi := store.Window(s)
@@ -228,20 +232,40 @@ func (r *oocRun) openTurn(s int) (*oocTurn, error) {
 	d := store.Dims()
 	pts := geom.Points{N: len(m.Data) / d, D: d, Data: m.Data}
 	ex := r.p.Exec
-	cells := grid.BuildGrid(ex, pts, store.Eps())
-	if cells.NumCells() != cellHi-cellLo {
-		t.close()
-		return nil, fmt.Errorf("core: window of shard %d rebuilt into %d cells, store says %d (corrupt store?)", s, cells.NumCells(), cellHi-cellLo)
+
+	// Window-local cell offsets and absolute lattice coordinates, straight
+	// from the store metadata.
+	numCells := cellHi - cellLo
+	cellStart := make([]int32, numCells+1)
+	for i := 0; i <= numCells; i++ {
+		cellStart[i] = int32(store.CellPointStart(cellLo+i) - t.pLo)
 	}
+	if int(cellStart[numCells]) != pts.N {
+		t.close()
+		return nil, fmt.Errorf("core: window of shard %d maps %d points, cell offsets say %d (corrupt store?)", s, pts.N, cellStart[numCells])
+	}
+	abs := make([]int64, numCells*d)
+	for i := 0; i < numCells; i++ {
+		for j := 0; j < d; j++ {
+			abs[i*d+j] = store.AbsCoord(cellLo+i, j)
+		}
+	}
+	cells := grid.BuildCellMajor(ex, pts, store.Eps(), cellStart, abs)
 	if d <= 3 {
 		cells.ComputeNeighborsEnum(ex)
 	} else {
 		cells.ComputeNeighborsKD(ex)
 	}
 	t.cells = cells
-	if err := r.matchCells(t); err != nil {
-		t.close()
-		return nil, err
+
+	// Local cell ids are store order: the translations are identity/offset.
+	t.s2l = make([]int32, numCells)
+	t.l2s = make([]int32, numCells)
+	t.l2orig = make([]int32, numCells)
+	for i := 0; i < numCells; i++ {
+		t.s2l[i] = int32(i)
+		t.l2s[i] = int32(cellLo + i)
+		t.l2orig[i] = store.OrigCell(cellLo + i)
 	}
 
 	p2 := r.p
@@ -260,55 +284,6 @@ func (r *oocRun) openTurn(s int) (*oocTurn, error) {
 	}
 	st.initCoreState()
 	return t, nil
-}
-
-// matchCells pairs every store cell of the window with its window-local
-// rebuild by absolute lattice coordinate — the same invariant that lets the
-// streaming structure match a from-scratch build.
-func (r *oocRun) matchCells(t *oocTurn) error {
-	store := r.store
-	d := store.Dims()
-	numLocal := t.cells.NumCells()
-	key := make([]byte, 8*d)
-	packLocal := func(g int) string {
-		for j := 0; j < d; j++ {
-			putI64(key[8*j:], t.cells.AbsCoord(g, j))
-		}
-		return string(key)
-	}
-	packStore := func(sc int) string {
-		for j := 0; j < d; j++ {
-			putI64(key[8*j:], store.AbsCoord(sc, j))
-		}
-		return string(key)
-	}
-	byCoord := make(map[string]int32, numLocal)
-	for g := 0; g < numLocal; g++ {
-		byCoord[packLocal(g)] = int32(g)
-	}
-	t.s2l = make([]int32, t.cellHi-t.cellLo)
-	t.l2s = make([]int32, numLocal)
-	t.l2orig = make([]int32, numLocal)
-	for sc := t.cellLo; sc < t.cellHi; sc++ {
-		lc, ok := byCoord[packStore(sc)]
-		if !ok {
-			return fmt.Errorf("core: store cell %d has no window-local counterpart (corrupt store?)", sc)
-		}
-		if t.cells.CellSize(int(lc)) != store.CellPointStart(sc+1)-store.CellPointStart(sc) {
-			return fmt.Errorf("core: store cell %d and its window rebuild disagree on size (corrupt store?)", sc)
-		}
-		t.s2l[sc-t.cellLo] = lc
-		t.l2s[lc] = int32(sc)
-		t.l2orig[lc] = store.OrigCell(sc)
-	}
-	return nil
-}
-
-func putI64(b []byte, v int64) {
-	u := uint64(v)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(u >> (8 * i))
-	}
 }
 
 // markTurn is one pass-1 window: mark the owned cells' core flags, collect
@@ -459,6 +434,15 @@ func (r *oocRun) delaunayTurn(t *oocTurn, owned []int32) {
 	for _, lg := range owned {
 		all = append(all, st.corePts[lg]...)
 	}
+	if st.contig {
+		// The triangulation runs over the window's original store (CellOf is
+		// keyed by window-local index); map payload rows back through Order.
+		// With BuildCellMajor's identity Order this is a no-op, but the
+		// translation keeps the layouts interchangeable.
+		for i, p := range all {
+			all[i] = st.cells.Order[p]
+		}
+	}
 	edges := delaunay.Triangulate(st.ex, st.cells.Pts, all)
 	cellEdges := delaunay.FilterCellEdges(st.ex, edges, st.cells.Pts, st.cells.CellOf, st.eps)
 	st.ex.For(len(cellEdges), func(i int) {
@@ -516,8 +500,11 @@ func (r *oocRun) borderTurn(s int) error {
 				continue // all points are core (Sample is rejected up front)
 			}
 			built := false
-			for _, p := range cells.PointsOf(g) {
-				if st.coreFlags[p] {
+			pts := st.cellPts(g)
+			orig := cells.PointsOf(g) // window-local store order; == pts here
+			for i, p := range pts {
+				op := orig[i]
+				if st.coreFlags[op] {
 					continue
 				}
 				if !built {
@@ -533,9 +520,9 @@ func (r *oocRun) borderTurn(s int) error {
 				}
 				ws.found = found // keep grown capacity
 				if len(found) > 0 {
-					localLabels[p] = found[0]
+					localLabels[op] = found[0]
 					if len(found) > 1 {
-						multiP = append(multiP, int32(origIdx[t.pLo+int(p)]))
+						multiP = append(multiP, int32(origIdx[t.pLo+int(op)]))
 						multiM = append(multiM, append([]int32(nil), found...))
 					}
 				}

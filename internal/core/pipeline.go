@@ -94,6 +94,18 @@ type Params struct {
 	// mostly the arena, not the kernel, under this flag.
 	ForceGenericKernel bool
 
+	// ForceIndirectLayout runs the pipeline in the original point order,
+	// indirecting through cells.Order, even when the cells carry a cell-major
+	// payload (grid.Cells.Payload). The contiguous path evaluates the same
+	// pairs with the same arithmetic in the same accumulation order, so
+	// results are bit-identical either way; the flag is the differential
+	// escape hatch for the layout-equivalence tests and for
+	// cmd/dbscanbench -exp hot's layout comparison, mirroring
+	// ForceGenericKernel. The incremental path sets it internally — its
+	// caches hold original-index core lists and trees across ticks, which a
+	// payload-row run would poison.
+	ForceIndirectLayout bool
+
 	// Timings, when non-nil, receives the wall-clock duration of each
 	// pipeline phase of the run (the observability seam RunStats is built
 	// on). Written once, at phase completion, by the run's own goroutine.
@@ -149,7 +161,17 @@ type pipeline struct {
 	eps   float64
 	eps2  float64
 	ex    *parallel.Pool // == p.Exec; the executor for every parallel phase
-	k     geom.Kernel    // dimension-resolved distance kernel, fixed per run
+	k     geom.Kernel    // dimension-resolved distance kernel over the active store
+
+	// The active point store. When the cells carry a cell-major payload (and
+	// ForceIndirectLayout is off) the pipeline runs in payload-row space:
+	// pts is cells.PayloadPts(), every point index flowing through the
+	// phases (cell point lists, core lists, border candidates, tree indices)
+	// is a payload row, and per-point state keyed by original index
+	// (coreFlags, labels, Sample) is reached through origOf. Otherwise pts is
+	// cells.Pts and indices are original point indices (origOf is identity).
+	contig bool
+	pts    geom.Points
 
 	arena *Arena      // == p.Arena (nil: no pooling)
 	rs    *runScratch // this run's checked-out scratch; returned by release
@@ -217,14 +239,39 @@ func validateParams(cells *grid.Cells, p *Params) error {
 // runScratch checked out of p.Arena (fresh when nil). Callers must pair it
 // with release.
 func newPipeline(cells *grid.Cells, p Params) *pipeline {
-	k := geom.NewKernel(cells.Pts)
+	contig := cells.Payload != nil && !p.ForceIndirectLayout
+	pts := cells.Pts
+	if contig {
+		pts = cells.PayloadPts()
+	}
+	k := geom.NewKernel(pts)
 	if p.ForceGenericKernel {
-		k = geom.NewGenericKernel(cells.Pts)
+		k = geom.NewGenericKernel(pts)
 	}
 	return &pipeline{
 		cells: cells, p: p, eps: cells.Eps, eps2: cells.Eps * cells.Eps,
 		ex: p.Exec, k: k, arena: p.Arena, rs: p.Arena.getRun(),
+		contig: contig, pts: pts,
 	}
+}
+
+// origOf maps an active-store point index to the original point index
+// (identity on the indirect path, cells.Order on the contiguous one).
+func (st *pipeline) origOf(p int32) int32 {
+	if st.contig {
+		return st.cells.Order[p]
+	}
+	return p
+}
+
+// cellPts returns cell g's point list in the active store's index space:
+// payload rows when contiguous, original indices otherwise. Both are views
+// into the cells; do not mutate.
+func (st *pipeline) cellPts(g int) []int32 {
+	if st.contig {
+		return st.cells.RowsOf(g)
+	}
+	return st.cells.PointsOf(g)
 }
 
 // release returns the run's scratch to the arena. The scratch keeps aliases
@@ -376,7 +423,8 @@ func (st *pipeline) collectCore() {
 func (st *pipeline) collectCellCore(g int) {
 	c := st.cells
 	d := c.Pts.D
-	pts := c.PointsOf(g)
+	pts := st.cellPts(g)
+	orig := c.PointsOf(g) // == pts on the indirect path
 	var core []int32
 	if st.p.Sample == nil && c.CellSize(g) >= st.p.MinPts {
 		// Every point is core; alias the cell's slice. (Under a sample mask
@@ -386,23 +434,23 @@ func (st *pipeline) collectCellCore(g int) {
 	} else if st.coreStore != nil {
 		off := c.CellStart[g]
 		buf := st.coreStore[off : off : off+int32(len(pts))]
-		for _, p := range pts {
-			if st.coreFlags[p] {
+		for i, p := range pts {
+			if st.coreFlags[orig[i]] {
 				buf = append(buf, p)
 			}
 		}
 		core = buf
 	} else {
 		cnt := 0
-		for _, p := range pts {
+		for _, p := range orig {
 			if st.coreFlags[p] {
 				cnt++
 			}
 		}
 		if cnt > 0 {
 			core = make([]int32, 0, cnt)
-			for _, p := range pts {
-				if st.coreFlags[p] {
+			for i, p := range pts {
+				if st.coreFlags[orig[i]] {
 					core = append(core, p)
 				}
 			}
@@ -412,10 +460,10 @@ func (st *pipeline) collectCellCore(g int) {
 	if len(core) > 0 {
 		lo := st.coreBBLo[g*d : (g+1)*d]
 		hi := st.coreBBHi[g*d : (g+1)*d]
-		copy(lo, c.Pts.At(int(core[0])))
-		copy(hi, c.Pts.At(int(core[0])))
+		copy(lo, st.at(core[0]))
+		copy(hi, st.at(core[0]))
 		for _, p := range core[1:] {
-			row := c.Pts.At(int(p))
+			row := st.at(p)
 			for j, v := range row {
 				if v < lo[j] {
 					lo[j] = v
@@ -485,11 +533,11 @@ func (st *pipeline) allTree(g int32) *quadtree.Tree {
 	}
 	lt := &st.allTrees[g]
 	lt.once.Do(func() {
-		pts := st.cells.PointsOf(int(g))
+		pts := st.cellPts(int(g))
 		idx := make([]int32, len(pts))
 		copy(idx, pts)
 		lo, side := st.quadtreeRoot(int(g))
-		lt.tree = quadtree.Build(st.ex, st.cells.Pts, idx, lo, side, -1)
+		lt.tree = quadtree.Build(st.ex, st.pts, idx, lo, side, -1)
 	})
 	return lt.tree
 }
@@ -513,13 +561,13 @@ func (st *pipeline) coreTree(g int32) *quadtree.Tree {
 		if st.p.Graph == GraphApprox {
 			maxDepth = quadtree.ApproxDepth(st.p.Rho)
 		}
-		lt.tree = quadtree.Build(st.ex, st.cells.Pts, idx, lo, side, maxDepth)
+		lt.tree = quadtree.Build(st.ex, st.pts, idx, lo, side, maxDepth)
 	})
 	return lt.tree
 }
 
-// geomAt is a tiny helper for readability.
-func (st *pipeline) at(p int32) []float64 { return st.cells.Pts.At(int(p)) }
+// at returns the coordinate row of active-store point p.
+func (st *pipeline) at(p int32) []float64 { return st.pts.At(int(p)) }
 
 // distSq between two points by index, through the run's kernel.
 func (st *pipeline) distSq(a, b int32) float64 {

@@ -260,6 +260,157 @@ func (k Kernel) AnyPairWithin(as, bs []int32, eps2 float64) bool {
 	return false
 }
 
+// CountWithinRange counts the points of the contiguous row range [lo, hi)
+// within squared distance eps2 of point q, stopping once need qualifying
+// points have been found (need <= 0 counts them all). It is the cell-major
+// form of CountWithin: when the payload is laid out cell-by-cell the
+// candidate list of a cell is exactly a row range, and the scan walks the
+// backing array sequentially instead of gathering through an index list. The
+// per-pair arithmetic and iteration order match CountWithin over the rows
+// [lo, lo+1, ..., hi-1] exactly, so the two forms are bit-identical.
+func (k Kernel) CountWithinRange(q, lo, hi int32, eps2 float64, need int) int {
+	count := 0
+	switch k.dims {
+	case 2:
+		iq := int(q) * 2
+		qx, qy := k.data[iq], k.data[iq+1]
+		for ip := int(lo) * 2; ip < int(hi)*2; ip += 2 {
+			dx := qx - k.data[ip]
+			dy := qy - k.data[ip+1]
+			if dx*dx+dy*dy <= eps2 {
+				count++
+				if count == need {
+					return count
+				}
+			}
+		}
+	case 3:
+		iq := int(q) * 3
+		qx, qy, qz := k.data[iq], k.data[iq+1], k.data[iq+2]
+		for ip := int(lo) * 3; ip < int(hi)*3; ip += 3 {
+			dx := qx - k.data[ip]
+			dy := qy - k.data[ip+1]
+			dz := qz - k.data[ip+2]
+			if dx*dx+dy*dy+dz*dz <= eps2 {
+				count++
+				if count == need {
+					return count
+				}
+			}
+		}
+	default:
+		for p := lo; p < hi; p++ {
+			if k.genericDistSq(q, p) <= eps2 {
+				count++
+				if count == need {
+					return count
+				}
+			}
+		}
+	}
+	return count
+}
+
+// AnyWithinRange reports whether any point of the contiguous row range
+// [lo, hi) lies within squared distance eps2 of point q.
+func (k Kernel) AnyWithinRange(q, lo, hi int32, eps2 float64) bool {
+	return k.CountWithinRange(q, lo, hi, eps2, 1) > 0
+}
+
+// FilterNearRangeInto appends to out the rows of the contiguous range
+// [lo, hi) within squared distance eps2 of the axis-aligned box [boxLo,
+// boxHi] and returns the extended slice — the cell-major form of
+// FilterNearInto, streaming the backing array instead of gathering through an
+// index list. Appended values are row indices; selection and order match
+// FilterNearInto over the rows [lo, ..., hi-1] exactly.
+func (k Kernel) FilterNearRangeInto(out []int32, lo, hi int32, boxLo, boxHi []float64, eps2 float64) []int32 {
+	switch k.dims {
+	case 2:
+		lx, ly := boxLo[0], boxLo[1]
+		hx, hy := boxHi[0], boxHi[1]
+		for p := lo; p < hi; p++ {
+			ip := int(p) * 2
+			var s float64
+			if v := k.data[ip]; v < lx {
+				dd := lx - v
+				s = dd * dd
+			} else if v > hx {
+				dd := v - hx
+				s = dd * dd
+			}
+			if v := k.data[ip+1]; v < ly {
+				dd := ly - v
+				s += dd * dd
+			} else if v > hy {
+				dd := v - hy
+				s += dd * dd
+			}
+			if s <= eps2 {
+				out = append(out, p)
+			}
+		}
+	default:
+		d := k.d
+		for p := lo; p < hi; p++ {
+			if PointBoxDistSq(k.data[int(p)*d:int(p)*d+d], boxLo, boxHi) <= eps2 {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// AnyPairWithinRanges reports whether any pair (a, b), a from the row range
+// [aLo, aHi), b from [bLo, bHi), lies within squared distance eps2 — the
+// cell-major form of AnyPairWithin, walking the same fixed-size blocks
+// (Section 4.4's blocked early termination) over two dense row ranges with
+// no index gather. Pair order matches AnyPairWithin over the corresponding
+// row lists exactly.
+func (k Kernel) AnyPairWithinRanges(aLo, aHi, bLo, bHi int32, eps2 float64) bool {
+	for i := aLo; i < aHi; i += bcpBlock {
+		iEnd := min(i+bcpBlock, aHi)
+		for j := bLo; j < bHi; j += bcpBlock {
+			jEnd := min(j+bcpBlock, bHi)
+			switch k.dims {
+			case 2:
+				for a := i; a < iEnd; a++ {
+					ia := int(a) * 2
+					ax, ay := k.data[ia], k.data[ia+1]
+					for ib := int(j) * 2; ib < int(jEnd)*2; ib += 2 {
+						dx := ax - k.data[ib]
+						dy := ay - k.data[ib+1]
+						if dx*dx+dy*dy <= eps2 {
+							return true
+						}
+					}
+				}
+			case 3:
+				for a := i; a < iEnd; a++ {
+					ia := int(a) * 3
+					ax, ay, az := k.data[ia], k.data[ia+1], k.data[ia+2]
+					for ib := int(j) * 3; ib < int(jEnd)*3; ib += 3 {
+						dx := ax - k.data[ib]
+						dy := ay - k.data[ib+1]
+						dz := az - k.data[ib+2]
+						if dx*dx+dy*dy+dz*dz <= eps2 {
+							return true
+						}
+					}
+				}
+			default:
+				for a := i; a < iEnd; a++ {
+					for b := j; b < jEnd; b++ {
+						if k.genericDistSq(a, b) <= eps2 {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
 // PointBoxDistSq returns the squared distance from coordinate row q to the
 // box [lo, hi] — the specialized form of the package-level PointBoxDistSq.
 func (k Kernel) PointBoxDistSq(q, lo, hi []float64) float64 {

@@ -59,6 +59,21 @@ type Cells struct {
 	// cell g (excluding g itself), in increasing index order. Filled by one
 	// of the ComputeNeighbors* methods.
 	Neighbors [][]int32
+
+	// Payload is the cell-major copy of the point coordinates: payload row r
+	// holds Pts row Order[r], so cell g owns the contiguous payload row range
+	// [CellStart[g], CellStart[g+1]) — the same layout internal/cellstore
+	// writes to disk. The batch constructions (BuildGrid, BuildBox2D) fill it
+	// eagerly; Dynamic.Snapshot leaves it nil and callers that want the
+	// contiguous kernels call EnsurePayload. Nil means "not materialized":
+	// the clustering pipeline falls back to indirecting through Order.
+	Payload []float64
+
+	// Rows is the identity permutation over payload rows ([0, len(Order)));
+	// Rows[CellStart[g]:CellStart[g+1]] is cell g's point list in payload-row
+	// space, ready to alias wherever the indirect path would use
+	// Order[CellStart[g]:CellStart[g+1]]. Built alongside Payload.
+	Rows []int32
 }
 
 // NumCells returns the number of non-empty cells.
@@ -72,6 +87,38 @@ func (c *Cells) CellSize(g int) int {
 // PointsOf returns the point indices in cell g (a view; do not mutate).
 func (c *Cells) PointsOf(g int) []int32 {
 	return c.Order[c.CellStart[g]:c.CellStart[g+1]]
+}
+
+// RowsOf returns cell g's point list in payload-row space (a view; do not
+// mutate). Only valid after EnsurePayload.
+func (c *Cells) RowsOf(g int) []int32 {
+	return c.Rows[c.CellStart[g]:c.CellStart[g+1]]
+}
+
+// PayloadPts views the cell-major payload as a point store: point r of the
+// view is Pts row Order[r]. Only valid after EnsurePayload.
+func (c *Cells) PayloadPts() geom.Points {
+	return geom.Points{N: len(c.Order), D: c.Pts.D, Data: c.Payload}
+}
+
+// EnsurePayload materializes the cell-major payload (and the Rows identity)
+// if it is not already present. Idempotent; not safe to call concurrently
+// with itself on the same Cells — the construction paths and the streaming
+// run loop call it from a single goroutine before handing the structure to
+// parallel phases.
+func (c *Cells) EnsurePayload(ex *parallel.Pool) {
+	if c.Payload != nil {
+		return
+	}
+	n, d := len(c.Order), c.Pts.D
+	payload := make([]float64, n*d)
+	rows := make([]int32, n)
+	ex.For(n, func(r int) {
+		copy(payload[r*d:(r+1)*d], c.Pts.At(int(c.Order[r])))
+		rows[r] = int32(r)
+	})
+	c.Rows = rows
+	c.Payload = payload
 }
 
 // CellBox returns the actual bounding box of the points in cell g as views.
@@ -232,6 +279,78 @@ func BuildGrid(ex *parallel.Pool, pts geom.Points, eps float64) *Cells {
 			p := order[i]
 			c.CellOf[p] = int32(g)
 			row := pts.At(int(p))
+			for j, v := range row {
+				if v < bbLo[j] {
+					bbLo[j] = v
+				}
+				if v > bbHi[j] {
+					bbHi[j] = v
+				}
+			}
+		}
+		c.table.insert(int32(g))
+	})
+	c.EnsurePayload(ex)
+	return c
+}
+
+// BuildCellMajor constructs Cells directly from a point store that is
+// already laid out cell-major: cell g owns rows [cellStart[g],
+// cellStart[g+1]) of pts, and abs holds each cell's absolute lattice
+// coordinates (numCells*d, row-major). This is the out-of-core window path —
+// internal/cellstore maps exactly this layout, so the window needs no
+// re-gather: Order and Rows are the identity and Payload aliases pts.Data
+// (zero copy). All cells must be non-empty and the relative coordinate
+// spread must fit int32, as for BuildGrid. Neighbors are left to the
+// ComputeNeighbors* methods.
+func BuildCellMajor(ex *parallel.Pool, pts geom.Points, eps float64, cellStart []int32, abs []int64) *Cells {
+	n, d := pts.N, pts.D
+	numCells := len(cellStart) - 1
+	side := eps / math.Sqrt(float64(d))
+
+	anchor := make([]int64, d)
+	if numCells > 0 {
+		copy(anchor, abs[:d])
+		for g := 1; g < numCells; g++ {
+			for j := 0; j < d; j++ {
+				if a := abs[g*d+j]; a < anchor[j] {
+					anchor[j] = a
+				}
+			}
+		}
+	}
+
+	rows := make([]int32, n)
+	c := &Cells{
+		Pts:       pts,
+		Eps:       eps,
+		Side:      side,
+		Anchor:    anchor,
+		Order:     rows,
+		CellStart: cellStart,
+		CellOf:    make([]int32, n),
+		BBLo:      make([]float64, numCells*d),
+		BBHi:      make([]float64, numCells*d),
+		Coords:    make([]int32, numCells*d),
+		Payload:   pts.Data,
+		Rows:      rows,
+	}
+	ex.For(n, func(i int) { rows[i] = int32(i) })
+	c.table = newCellTable(numCells, c)
+
+	ex.ForGrain(numCells, 1, func(g int) {
+		lo, hi := int(cellStart[g]), int(cellStart[g+1])
+		co := c.Coords[g*d : (g+1)*d]
+		for j := 0; j < d; j++ {
+			co[j] = int32(abs[g*d+j] - anchor[j])
+		}
+		bbLo := c.BBLo[g*d : (g+1)*d]
+		bbHi := c.BBHi[g*d : (g+1)*d]
+		copy(bbLo, pts.At(lo))
+		copy(bbHi, pts.At(lo))
+		for i := lo; i < hi; i++ {
+			c.CellOf[i] = int32(g)
+			row := pts.At(i)
 			for j, v := range row {
 				if v < bbLo[j] {
 					bbLo[j] = v
